@@ -1,0 +1,51 @@
+# parallel-semisort — build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz repro repro-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over the three fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzRecords -fuzztime=30s .
+	$(GO) test -fuzz=FuzzBy -fuzztime=30s .
+	$(GO) test -fuzz=FuzzConfigs -fuzztime=30s .
+
+# Full reproduction of the paper's evaluation (Section 5) at laptop scale.
+repro:
+	$(GO) run ./cmd/semibench -experiment all -n 4m -reps 3 -procs 1,2,4,8 -csv results.csv
+
+# Fast smoke reproduction (~1 minute).
+repro-quick:
+	$(GO) run ./cmd/semibench -experiment all -n 2e5 -reps 1 -procs 1,2
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/wordcount -docs 500
+	$(GO) run ./examples/hashjoin -orders 20000 -customers 2000
+	$(GO) run ./examples/graphgroup -vertices 5000 -edges 30000
+	$(GO) run ./examples/analytics -events 50000
+	$(GO) run ./examples/outofcore -records 500000
+
+clean:
+	$(GO) clean ./...
+	rm -f results.csv test_output.txt bench_output.txt

@@ -1,0 +1,95 @@
+package semisort
+
+// Aggregation helpers built on the semisort. These are the operations the
+// paper's applications reduce to — MapReduce's shuffle+reduce and SQL's
+// GROUP BY aggregates — packaged for direct use.
+
+// Number covers the numeric types SumBy can accumulate.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// CountBy returns the multiplicity of each key among items.
+func CountBy[T any, K comparable](items []T, key func(T) K, cfg *Config) (map[K]int, error) {
+	groups, err := GroupBy(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int)
+	for k, g := range groups {
+		out[k] = len(g)
+	}
+	return out, nil
+}
+
+// SumBy groups items by key and sums val over each group.
+func SumBy[T any, K comparable, N Number](items []T, key func(T) K, val func(T) N, cfg *Config) (map[K]N, error) {
+	groups, err := GroupBy(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]N)
+	for k, g := range groups {
+		var s N
+		for _, item := range g {
+			s += val(item)
+		}
+		out[k] = s
+	}
+	return out, nil
+}
+
+// ReduceBy groups items by key and folds each group with fn, starting from
+// the zero value of A. It is the general shuffle+reduce of MapReduce.
+func ReduceBy[T any, K comparable, A any](items []T, key func(T) K, fn func(acc A, item T) A, cfg *Config) (map[K]A, error) {
+	groups, err := GroupBy(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]A)
+	for k, g := range groups {
+		var acc A
+		for _, item := range g {
+			acc = fn(acc, item)
+		}
+		out[k] = acc
+	}
+	return out, nil
+}
+
+// Distinct returns one representative per distinct value of items, in
+// unspecified order. It is the semisort form of SQL's DISTINCT.
+func Distinct[T comparable](items []T, cfg *Config) ([]T, error) {
+	groups, err := GroupBy(items, func(v T) T { return v }, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for k := range groups {
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// MaxBy groups items by key and keeps, per group, the item with the
+// greatest measure. Ties keep the first encountered.
+func MaxBy[T any, K comparable, N Number](items []T, key func(T) K, measure func(T) N, cfg *Config) (map[K]T, error) {
+	groups, err := GroupBy(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]T)
+	for k, g := range groups {
+		best := g[0]
+		bestV := measure(best)
+		for _, item := range g[1:] {
+			if v := measure(item); v > bestV {
+				best, bestV = item, v
+			}
+		}
+		out[k] = best
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package semisort_test
+
+import (
+	"fmt"
+	"sort"
+
+	semisort "repro"
+)
+
+// ExampleRecords semisorts pre-hashed records, the paper's core setting.
+func ExampleRecords() {
+	recs := []semisort.Record{
+		{Key: 0xAA, Value: 1},
+		{Key: 0xBB, Value: 2},
+		{Key: 0xAA, Value: 3},
+		{Key: 0xAA, Value: 4},
+	}
+	out, _ := semisort.Records(recs, nil)
+	groups := 0
+	semisort.Runs(out, func(start, end int) { groups++ })
+	fmt.Println("semisorted:", semisort.IsSemisorted(out), "groups:", groups)
+	// Output: semisorted: true groups: 2
+}
+
+// ExampleBy groups arbitrary values by a derived key.
+func ExampleBy() {
+	words := []string{"ant", "bee", "cow", "bat", "cat", "ape"}
+	byFirst, _ := semisort.By(words, func(s string) byte { return s[0] }, nil)
+	// Count contiguous first-letter groups.
+	groups := 1
+	for i := 1; i < len(byFirst); i++ {
+		if byFirst[i][0] != byFirst[i-1][0] {
+			groups++
+		}
+	}
+	fmt.Println("items:", len(byFirst), "groups:", groups)
+	// Output: items: 6 groups: 3
+}
+
+// ExampleGroupBy iterates groups directly.
+func ExampleGroupBy() {
+	nums := []int{4, 7, 4, 2, 7, 7}
+	groups, _ := semisort.GroupBy(nums, func(v int) int { return v }, nil)
+	var lines []string
+	for k, g := range groups {
+		lines = append(lines, fmt.Sprintf("%d x%d", k, len(g)))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// 2 x1
+	// 4 x2
+	// 7 x3
+}
+
+// ExampleCountBy computes GROUP BY ... COUNT(*) in one call.
+func ExampleCountBy() {
+	visits := []string{"home", "cart", "home", "checkout", "home"}
+	counts, _ := semisort.CountBy(visits, func(s string) string { return s }, nil)
+	fmt.Println(counts["home"], counts["cart"], counts["checkout"])
+	// Output: 3 1 1
+}
+
+// ExampleSumBy computes GROUP BY ... SUM(col).
+func ExampleSumBy() {
+	type order struct {
+		region string
+		total  int
+	}
+	orders := []order{{"eu", 10}, {"us", 20}, {"eu", 5}}
+	sums, _ := semisort.SumBy(orders,
+		func(o order) string { return o.region },
+		func(o order) int { return o.total }, nil)
+	fmt.Println(sums["eu"], sums["us"])
+	// Output: 15 20
+}
+
+// ExampleStableBy keeps input order within each group.
+func ExampleStableBy() {
+	type msg struct {
+		channel string
+		seq     int
+	}
+	msgs := []msg{{"a", 0}, {"b", 1}, {"a", 2}, {"b", 3}, {"a", 4}}
+	out, _ := semisort.StableBy(msgs, func(m msg) string { return m.channel }, nil)
+	// Each channel's messages stay in seq order.
+	ordered := true
+	for i := 1; i < len(out); i++ {
+		if out[i].channel == out[i-1].channel && out[i].seq < out[i-1].seq {
+			ordered = false
+		}
+	}
+	fmt.Println("stable:", ordered)
+	// Output: stable: true
+}
+
+// ExampleSorter reuses internal buffers across repeated semisorts.
+func ExampleSorter() {
+	s := semisort.NewSorter(&semisort.Config{Seed: 1})
+	batch1 := []semisort.Record{{Key: 2}, {Key: 1}, {Key: 2}}
+	batch2 := []semisort.Record{{Key: 9}, {Key: 9}, {Key: 3}}
+	out1, _ := s.Sort(batch1)
+	out2, _ := s.Sort(batch2) // reuses the buffers sized for batch1
+	fmt.Println(semisort.IsSemisorted(out1), semisort.IsSemisorted(out2))
+	// Output: true true
+}

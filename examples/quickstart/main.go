@@ -1,0 +1,56 @@
+// Quickstart: semisort pre-hashed records and iterate the groups.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	semisort "repro"
+)
+
+func main() {
+	// Records carry a 64-bit hashed key and a 64-bit payload — the exact
+	// record layout from the paper's experiments. Here the "hash" values
+	// are small integers for readability; in production they would come
+	// from hashing real keys (see the By/GroupBy API for that).
+	records := []semisort.Record{
+		{Key: 0xCAFE, Value: 1},
+		{Key: 0xBEEF, Value: 2},
+		{Key: 0xCAFE, Value: 3},
+		{Key: 0xF00D, Value: 4},
+		{Key: 0xBEEF, Value: 5},
+		{Key: 0xCAFE, Value: 6},
+	}
+
+	out, stats, err := semisort.RecordsWithStats(records, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("semisorted (equal keys contiguous, group order unspecified):")
+	semisort.Runs(out, func(start, end int) {
+		fmt.Printf("  key %#x: %d record(s):", out[start].Key, end-start)
+		for _, r := range out[start:end] {
+			fmt.Printf(" %d", r.Value)
+		}
+		fmt.Println()
+	})
+
+	fmt.Printf("\nphases: sample+sort=%v buckets=%v scatter=%v localsort=%v pack=%v\n",
+		stats.Phases.SampleSort, stats.Phases.Buckets, stats.Phases.Scatter,
+		stats.Phases.LocalSort, stats.Phases.Pack)
+
+	// The generic front-end groups arbitrary Go values by any comparable
+	// key, hashing (and collision-checking) internally.
+	fruit := []string{"fig", "apple", "fig", "banana", "apple", "fig"}
+	groups, err := semisort.GroupBy(fruit, func(s string) string { return s }, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngrouped strings:")
+	for k, g := range groups {
+		fmt.Printf("  %-6s x%d\n", k, len(g))
+	}
+}

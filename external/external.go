@@ -1,0 +1,226 @@
+// Package external implements an out-of-core semisort (shuffle) for record
+// streams larger than memory — the MapReduce shuffle from the paper's
+// introduction, at disk scale.
+//
+// Records are partitioned by the top bits of their hashed key into spill
+// files as they arrive; records with equal keys always land in the same
+// partition. Each partition is then small enough to semisort in memory
+// with the paper's algorithm, and groups are emitted partition by
+// partition. Two sequential passes over the data total, like a classic
+// external shuffle.
+//
+//	sh, _ := external.NewShuffler(&external.Config{TempDir: dir})
+//	for _, r := range stream { sh.Add(r) }
+//	sh.ForEachGroup(func(key uint64, group []semisort.Record) error { ... })
+package external
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"path/filepath"
+
+	semisort "repro"
+	"repro/internal/core"
+	"repro/internal/rec"
+)
+
+// Config controls the shuffler.
+type Config struct {
+	// TempDir holds the spill files; defaults to os.TempDir(). The files
+	// are removed by Close / ForEachGroup completion.
+	TempDir string
+	// Partitions is the number of spill partitions, rounded up to a power
+	// of two. Each partition must fit in memory (expect |input|/Partitions
+	// per partition for hashed keys). Default 64.
+	Partitions int
+	// BufferRecords is the per-partition write buffer size in records.
+	// Default 4096 (64 KiB per partition).
+	BufferRecords int
+	// Semisort configures the in-memory semisort of each partition.
+	Semisort semisort.Config
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{}
+	if c != nil {
+		out = *c
+	}
+	if out.TempDir == "" {
+		out.TempDir = os.TempDir()
+	}
+	if out.Partitions <= 0 {
+		out.Partitions = 64
+	}
+	out.Partitions = 1 << uint(bits.Len(uint(out.Partitions-1)))
+	if out.BufferRecords <= 0 {
+		out.BufferRecords = 4096
+	}
+	return out
+}
+
+// Shuffler accumulates records, spilling them to partition files, and then
+// emits all groups. Not safe for concurrent use.
+type Shuffler struct {
+	cfg    Config
+	shift  uint
+	dir    string
+	files  []*os.File
+	bufs   []*bufio.Writer
+	counts []int64
+	n      int64
+	closed bool
+}
+
+// NewShuffler creates the spill directory and partition files.
+func NewShuffler(cfg *Config) (*Shuffler, error) {
+	c := cfg.withDefaults()
+	dir, err := os.MkdirTemp(c.TempDir, "semisort-shuffle-")
+	if err != nil {
+		return nil, fmt.Errorf("external: create spill dir: %w", err)
+	}
+	s := &Shuffler{
+		cfg:    c,
+		shift:  uint(64 - bits.Len(uint(c.Partitions-1))),
+		dir:    dir,
+		files:  make([]*os.File, c.Partitions),
+		bufs:   make([]*bufio.Writer, c.Partitions),
+		counts: make([]int64, c.Partitions),
+	}
+	if c.Partitions == 1 {
+		s.shift = 64
+	}
+	for p := 0; p < c.Partitions; p++ {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("part-%04d", p)))
+		if err != nil {
+			s.cleanup()
+			return nil, fmt.Errorf("external: create partition: %w", err)
+		}
+		s.files[p] = f
+		s.bufs[p] = bufio.NewWriterSize(f, c.BufferRecords*16)
+	}
+	return s, nil
+}
+
+// Add spills one record to its partition.
+func (s *Shuffler) Add(r semisort.Record) error {
+	if s.closed {
+		return errors.New("external: Add after Close")
+	}
+	p := int(r.Key >> s.shift)
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], r.Key)
+	binary.LittleEndian.PutUint64(buf[8:16], r.Value)
+	if _, err := s.bufs[p].Write(buf[:]); err != nil {
+		return fmt.Errorf("external: spill: %w", err)
+	}
+	s.counts[p]++
+	s.n++
+	return nil
+}
+
+// AddBatch spills a batch of records.
+func (s *Shuffler) AddBatch(recs []semisort.Record) error {
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of records spilled so far.
+func (s *Shuffler) Len() int64 { return s.n }
+
+// ForEachGroup flushes the spill files, then loads each partition in turn,
+// semisorts it in memory, and calls fn once per group of equal keys. The
+// group slice is reused between calls; clone it if it must be retained.
+// Returning a non-nil error from fn aborts the iteration. The spill files
+// are removed afterwards regardless of outcome.
+func (s *Shuffler) ForEachGroup(fn func(key uint64, group []semisort.Record) error) error {
+	if s.closed {
+		return errors.New("external: ForEachGroup after Close")
+	}
+	defer s.Close()
+
+	for p := range s.bufs {
+		if err := s.bufs[p].Flush(); err != nil {
+			return fmt.Errorf("external: flush partition %d: %w", p, err)
+		}
+	}
+
+	sorter := core.Workspace{}
+	var partition []rec.Record
+	for p := range s.files {
+		cnt := s.counts[p]
+		if cnt == 0 {
+			continue
+		}
+		if int64(cap(partition)) < cnt {
+			partition = make([]rec.Record, cnt)
+		}
+		partition = partition[:cnt]
+		if err := readPartition(s.files[p], partition); err != nil {
+			return fmt.Errorf("external: read partition %d: %w", p, err)
+		}
+		cfg := s.cfg.Semisort
+		out, _, err := core.SemisortWS(&sorter, partition, &cfg)
+		if err != nil {
+			return fmt.Errorf("external: semisort partition %d: %w", p, err)
+		}
+		var ferr error
+		rec.Runs(out, func(start, end int) {
+			if ferr != nil {
+				return
+			}
+			ferr = fn(out[start].Key, out[start:end])
+		})
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// readPartition reads exactly len(dst) records from the start of f.
+func readPartition(f *os.File, dst []rec.Record) error {
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	var buf [16]byte
+	for i := range dst {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return err
+		}
+		dst[i] = rec.Record{
+			Key:   binary.LittleEndian.Uint64(buf[0:8]),
+			Value: binary.LittleEndian.Uint64(buf[8:16]),
+		}
+	}
+	return nil
+}
+
+// Close removes the spill files. It is idempotent and called automatically
+// by ForEachGroup.
+func (s *Shuffler) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.cleanup()
+	return nil
+}
+
+func (s *Shuffler) cleanup() {
+	for _, f := range s.files {
+		if f != nil {
+			f.Close()
+		}
+	}
+	os.RemoveAll(s.dir)
+}

@@ -1,0 +1,251 @@
+package external
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	semisort "repro"
+	"repro/internal/hash"
+)
+
+func mkRecords(n int, distinct uint64, seed int64) []semisort.Record {
+	r := rand.New(rand.NewSource(seed))
+	f := hash.NewFamily(uint64(seed))
+	recs := make([]semisort.Record, n)
+	for i := range recs {
+		recs[i] = semisort.Record{Key: f.Hash(uint64(r.Int63n(int64(distinct)))), Value: uint64(i)}
+	}
+	return recs
+}
+
+// collectGroups shuffles recs through a Shuffler and returns key -> values.
+func collectGroups(t *testing.T, cfg *Config, recs []semisort.Record) map[uint64][]uint64 {
+	t.Helper()
+	sh, err := NewShuffler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Len(); got != int64(len(recs)) {
+		t.Fatalf("Len = %d, want %d", got, len(recs))
+	}
+	groups := map[uint64][]uint64{}
+	err = sh.ForEachGroup(func(key uint64, group []semisort.Record) error {
+		if _, dup := groups[key]; dup {
+			t.Fatalf("key %d emitted twice", key)
+		}
+		vals := make([]uint64, len(group))
+		for i, r := range group {
+			if r.Key != key {
+				t.Fatalf("group for %d contains key %d", key, r.Key)
+			}
+			vals[i] = r.Value
+		}
+		groups[key] = vals
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return groups
+}
+
+func verifyGroups(t *testing.T, recs []semisort.Record, groups map[uint64][]uint64) {
+	t.Helper()
+	want := map[uint64]int{}
+	for _, r := range recs {
+		want[r.Key]++
+	}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(groups), len(want))
+	}
+	total := 0
+	for k, vals := range groups {
+		if len(vals) != want[k] {
+			t.Fatalf("group %d has %d records, want %d", k, len(vals), want[k])
+		}
+		total += len(vals)
+	}
+	if total != len(recs) {
+		t.Fatalf("total %d, want %d", total, len(recs))
+	}
+}
+
+func TestShuffleBasic(t *testing.T) {
+	recs := mkRecords(50000, 500, 1)
+	groups := collectGroups(t, &Config{TempDir: t.TempDir(), Partitions: 8}, recs)
+	verifyGroups(t, recs, groups)
+}
+
+func TestShuffleManyPartitionsFewRecords(t *testing.T) {
+	recs := mkRecords(100, 10, 2)
+	groups := collectGroups(t, &Config{TempDir: t.TempDir(), Partitions: 256}, recs)
+	verifyGroups(t, recs, groups)
+}
+
+func TestShuffleSinglePartition(t *testing.T) {
+	recs := mkRecords(5000, 50, 3)
+	groups := collectGroups(t, &Config{TempDir: t.TempDir(), Partitions: 1}, recs)
+	verifyGroups(t, recs, groups)
+}
+
+func TestShuffleEmpty(t *testing.T) {
+	sh, err := NewShuffler(&Config{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := sh.ForEachGroup(func(uint64, []semisort.Record) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("empty shuffle emitted %d groups", calls)
+	}
+}
+
+func TestShuffleDefaults(t *testing.T) {
+	c := (&Config{Partitions: 5}).withDefaults()
+	if c.Partitions != 8 {
+		t.Errorf("partitions = %d, want rounded to 8", c.Partitions)
+	}
+	if c.TempDir == "" || c.BufferRecords <= 0 {
+		t.Errorf("defaults missing: %+v", c)
+	}
+	cNil := (*Config)(nil).withDefaults()
+	if cNil.Partitions != 64 {
+		t.Errorf("nil defaults: %+v", cNil)
+	}
+}
+
+func TestShuffleKeyEdgeValues(t *testing.T) {
+	// Extreme keys route to the first/last partitions correctly.
+	recs := []semisort.Record{
+		{Key: 0, Value: 1}, {Key: 0, Value: 2},
+		{Key: ^uint64(0), Value: 3}, {Key: ^uint64(0), Value: 4},
+		{Key: 1 << 63, Value: 5},
+	}
+	groups := collectGroups(t, &Config{TempDir: t.TempDir(), Partitions: 16}, recs)
+	verifyGroups(t, recs, groups)
+}
+
+func TestShuffleCallbackError(t *testing.T) {
+	recs := mkRecords(1000, 10, 4)
+	sh, err := NewShuffler(&Config{TempDir: t.TempDir(), Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	calls := 0
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Errorf("callback ran %d times after error", calls)
+	}
+}
+
+func TestShuffleUseAfterClose(t *testing.T) {
+	sh, err := NewShuffler(&Config{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := sh.Add(semisort.Record{}); err == nil {
+		t.Error("Add after Close must fail")
+	}
+	if err := sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil }); err == nil {
+		t.Error("ForEachGroup after Close must fail")
+	}
+}
+
+func TestShuffleCleansUpSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	sh, err := NewShuffler(&Config{TempDir: dir, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(mkRecords(100, 5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "semisort-shuffle-") {
+			t.Errorf("spill dir %s not removed", filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+func TestShuffleBadTempDir(t *testing.T) {
+	_, err := NewShuffler(&Config{TempDir: "/nonexistent/definitely/missing"})
+	if err == nil {
+		t.Fatal("expected error for bad temp dir")
+	}
+}
+
+func TestShuffleLargeSkewed(t *testing.T) {
+	// One dominant key spanning partitions is impossible (keys route by
+	// top bits), but a dominant key within one partition must still group.
+	recs := make([]semisort.Record, 80000)
+	f := hash.NewFamily(9)
+	hot := f.Hash(42)
+	r := rand.New(rand.NewSource(6))
+	for i := range recs {
+		if i%3 == 0 {
+			recs[i] = semisort.Record{Key: hot, Value: uint64(i)}
+		} else {
+			recs[i] = semisort.Record{Key: f.Hash(uint64(r.Int63n(2000))), Value: uint64(i)}
+		}
+	}
+	groups := collectGroups(t, &Config{TempDir: t.TempDir(), Partitions: 32}, recs)
+	verifyGroups(t, recs, groups)
+	if len(groups[hot]) < 26000 {
+		t.Errorf("hot key group has %d records", len(groups[hot]))
+	}
+}
+
+func BenchmarkShuffle(b *testing.B) {
+	recs := mkRecords(1<<18, 1<<12, 1)
+	dir := b.TempDir()
+	b.SetBytes(int64(len(recs)) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh, err := NewShuffler(&Config{TempDir: dir, Partitions: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sh.AddBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		groups := 0
+		if err := sh.ForEachGroup(func(uint64, []semisort.Record) error {
+			groups++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package semisort
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rec"
+)
+
+// FuzzRecords drives the full semisort with arbitrary byte-derived keys
+// and configuration knobs. Run with `go test -fuzz=FuzzRecords`; the seed
+// corpus below always runs under plain `go test`.
+func FuzzRecords(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(16), uint8(16), false)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(4), uint8(4), true)
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255}, uint8(2), uint8(64), false)
+	f.Add([]byte{}, uint8(16), uint8(16), false)
+	f.Add([]byte{42}, uint8(1), uint8(1), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, rateRaw, deltaRaw uint8, exact bool) {
+		// Derive records: each byte selects a key class; duplicate-heavy
+		// by construction (only up to 256 distinct keys).
+		a := make([]Record, len(data))
+		for i, b := range data {
+			var kb [8]byte
+			kb[0] = b
+			kb[1] = b ^ 0x5A
+			a[i] = Record{Key: binary.LittleEndian.Uint64(kb[:]) * 0x9e3779b97f4a7c15, Value: uint64(i)}
+		}
+		cfg := &Config{
+			SampleRate:       int(rateRaw%64) + 1,
+			Delta:            int(deltaRaw%64) + 1,
+			ExactBucketSizes: exact,
+			Seed:             uint64(len(data)),
+		}
+		out, err := Records(a, cfg)
+		if err != nil {
+			t.Fatalf("semisort failed: %v", err)
+		}
+		if !IsSemisorted(out) {
+			t.Fatal("output not semisorted")
+		}
+		if !rec.SamePermutation(a, out) {
+			t.Fatal("output not a permutation of input")
+		}
+	})
+}
+
+// FuzzBy drives the generic front-end with arbitrary string keys.
+func FuzzBy(f *testing.F) {
+	f.Add("the quick brown fox", uint8(0))
+	f.Add("", uint8(3))
+	f.Add("aaaaaaaaaaaaaaaaaaaa", uint8(1))
+	f.Add("ab", uint8(2))
+
+	f.Fuzz(func(t *testing.T, s string, window uint8) {
+		// Slice the string into overlapping chunks as items.
+		w := int(window%5) + 1
+		var items []string
+		for i := 0; i+w <= len(s); i++ {
+			items = append(items, s[i:i+w])
+		}
+		out, err := By(items, func(v string) string { return v }, nil)
+		if err != nil {
+			t.Fatalf("By failed: %v", err)
+		}
+		if len(out) != len(items) {
+			t.Fatalf("length changed: %d -> %d", len(items), len(out))
+		}
+		seen := map[string]bool{}
+		for i := 0; i < len(out); {
+			k := out[i]
+			if seen[k] {
+				t.Fatalf("group %q split", k)
+			}
+			seen[k] = true
+			for i < len(out) && out[i] == k {
+				i++
+			}
+		}
+		counts := map[string]int{}
+		for _, v := range items {
+			counts[v]++
+		}
+		for _, v := range out {
+			counts[v]--
+		}
+		for k, c := range counts {
+			if c != 0 {
+				t.Fatalf("multiset broken for %q: %d", k, c)
+			}
+		}
+	})
+}
+
+// FuzzSizeEstimateConfigs stresses unusual Config combinations on a fixed
+// input through the core directly.
+func FuzzConfigs(f *testing.F) {
+	f.Add(uint8(16), uint8(16), uint16(1024), false, false, uint8(0))
+	f.Add(uint8(1), uint8(1), uint16(1), true, true, uint8(1))
+	f.Add(uint8(63), uint8(63), uint16(65535), false, true, uint8(2))
+
+	base := make([]rec.Record, 3000)
+	for i := range base {
+		base[i] = rec.Record{Key: uint64(i%37) * 0x9e3779b97f4a7c15, Value: uint64(i)}
+	}
+
+	f.Fuzz(func(t *testing.T, rate, delta uint8, buckets uint16, merge, exact bool, probe uint8) {
+		cfg := &core.Config{
+			Procs:                2,
+			SampleRate:           int(rate%64) + 1,
+			Delta:                int(delta%64) + 1,
+			MaxLightBuckets:      int(buckets) + 1,
+			DisableBucketMerging: merge,
+			ExactBucketSizes:     exact,
+			Probe:                core.ProbeKind(probe % 2),
+			LocalSort:            core.LocalSortKind(probe % 2),
+			Seed:                 uint64(rate) ^ uint64(buckets),
+		}
+		out, _, err := core.Semisort(base, cfg)
+		if err != nil {
+			t.Fatalf("config %+v failed: %v", cfg, err)
+		}
+		if !rec.IsSemisorted(out) || !rec.SamePermutation(base, out) {
+			t.Fatalf("config %+v produced invalid output", cfg)
+		}
+	})
+}

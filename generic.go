@@ -1,0 +1,141 @@
+package semisort
+
+import (
+	"fmt"
+	"hash/maphash"
+	"iter"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/rec"
+)
+
+// genericRetries bounds rehash attempts when a 64-bit hash collision
+// between distinct keys is detected (probability ~n²/2^64 per attempt).
+const genericRetries = 4
+
+// By reorders items so that items with equal keys (as computed by key) are
+// contiguous, and returns the reordered slice. The input is not modified.
+//
+// Keys are hashed to 64 bits; the result is verified and re-hashed with a
+// fresh seed in the (astronomically unlikely) event that two distinct keys
+// collide, so the grouping is always exact. This is the Las Vegas
+// conversion described at the end of Section 3 of the paper.
+//
+// Keys compare with ==, so a key containing a floating-point NaN is never
+// equal to anything, including itself. Matching Go map semantics (and
+// maphash.Comparable, which hashes each NaN occurrence differently), every
+// NaN-keyed item therefore lands in its own singleton group.
+func By[T any, K comparable](items []T, key func(T) K, cfg *Config) ([]T, error) {
+	perm, err := permutationBy(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(items))
+	procs := 0
+	if cfg != nil {
+		procs = cfg.Procs
+	}
+	parallel.For(procs, len(items), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = items[perm[i]]
+		}
+	})
+	return out, nil
+}
+
+// GroupBy reorders items by key and returns an iterator over the groups:
+// each yielded pair is a key and the subslice of the reordered items that
+// share it. The subslices alias a single backing array; clone them if they
+// must outlive the iteration. Group order is unspecified.
+func GroupBy[T any, K comparable](items []T, key func(T) K, cfg *Config) (iter.Seq2[K, []T], error) {
+	grouped, err := By(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(K, []T) bool) {
+		i := 0
+		for i < len(grouped) {
+			k := key(grouped[i])
+			j := i + 1
+			for j < len(grouped) && key(grouped[j]) == k {
+				j++
+			}
+			if !yield(k, grouped[i:j]) {
+				return
+			}
+			i = j
+		}
+	}, nil
+}
+
+// CollectGroups is GroupBy materialized into a map from key to group.
+func CollectGroups[T any, K comparable](items []T, key func(T) K, cfg *Config) (map[K][]T, error) {
+	groups, err := GroupBy(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K][]T)
+	for k, g := range groups {
+		out[k] = g
+	}
+	return out, nil
+}
+
+// permutationBy computes a permutation perm such that visiting
+// items[perm[0]], items[perm[1]], ... yields items grouped by key.
+func permutationBy[T any, K comparable](items []T, key func(T) K, cfg *Config) ([]uint64, error) {
+	n := len(items)
+	procs := 0
+	if cfg != nil {
+		procs = cfg.Procs
+	}
+	recs := make([]rec.Record, n)
+
+	var lastErr error
+	for attempt := 0; attempt < genericRetries; attempt++ {
+		seed := maphash.MakeSeed()
+		parallel.For(procs, n, 2048, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				recs[i] = rec.Record{
+					Key:   maphash.Comparable(seed, key(items[i])),
+					Value: uint64(i),
+				}
+			}
+		})
+		out, _, err := core.Semisort(recs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !hasCollision(procs, out, items, key) {
+			perm := make([]uint64, n)
+			parallel.For(procs, n, 8192, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					perm[i] = out[i].Value
+				}
+			})
+			return perm, nil
+		}
+		lastErr = fmt.Errorf("semisort: 64-bit hash collision between distinct keys (attempt %d)", attempt+1)
+	}
+	return nil, lastErr
+}
+
+// hasCollision reports whether any run of equal hashes contains two
+// distinct original keys. Equal hashes are contiguous after the semisort,
+// so comparing neighbors suffices.
+func hasCollision[T any, K comparable](procs int, out []rec.Record, items []T, key func(T) K) bool {
+	n := len(out)
+	var collided atomic.Bool
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := max(lo, 1); i < hi; i++ {
+			if out[i].Key == out[i-1].Key &&
+				key(items[out[i].Value]) != key(items[out[i-1].Value]) {
+				collided.Store(true)
+				return
+			}
+		}
+	})
+	return collided.Load()
+}

@@ -1,0 +1,180 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure in the paper's evaluation (Section 5). Each exported Run*
+// function produces the same rows/series the paper reports, using this
+// library's implementations of the semisort, the radix-sort baseline, the
+// comparison-sort baselines and the sequential baselines.
+//
+// Absolute numbers differ from the paper (different hardware, language and
+// core count — see EXPERIMENTS.md); the harness exists to reproduce the
+// relative shape: who wins, by what factor, and how the curves move with
+// input size, distribution and thread count.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// N is the input size for fixed-size experiments (the paper uses 10^8;
+	// the default here is 10^6 so everything finishes on a laptop).
+	N int
+	// Sizes is the size sweep for scaling experiments (the paper sweeps
+	// 10^7..10^9).
+	Sizes []int
+	// Procs is the thread sweep (the paper sweeps 1..40 cores + hyper-
+	// threading). MaxProcs() is used where a single parallel time is
+	// needed.
+	Procs []int
+	// Reps repeats each measurement and keeps the minimum.
+	Reps int
+	// Seed makes workloads reproducible.
+	Seed uint64
+	// Out receives the rendered tables; defaults to io.Discard if nil.
+	Out io.Writer
+}
+
+// withDefaults fills in unset fields.
+func (o Options) withDefaults() Options {
+	if o.N <= 0 {
+		o.N = 1 << 20
+	}
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{1 << 17, 1 << 18, 1 << 19, 1 << 20, 1 << 21}
+	}
+	if len(o.Procs) == 0 {
+		o.Procs = []int{1, 2, 4, 8}
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 20150613 // SPAA'15 conference date
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// MaxProcs returns the largest entry of the Procs sweep.
+func (o Options) MaxProcs() int {
+	m := 1
+	for _, p := range o.Procs {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// timeIt runs fn reps times and returns the minimum wall-clock duration.
+// The minimum (not mean) matches common practice for throughput benchmarks
+// on shared machines.
+func timeIt(reps int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// secs formats a duration in seconds with adaptive precision.
+func secs(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// ratio formats a speedup/slowdown factor.
+func ratio(num, den time.Duration) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(num)/float64(den))
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f", 100*f) }
+
+// Table is a simple aligned-text table with an optional title, used for
+// all harness output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values (quotes are not needed
+// for the harness's numeric content).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}

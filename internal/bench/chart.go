@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more (x, y) series as an ASCII scatter/line chart,
+// used by the semibench CLI to visualize the figure experiments the way
+// the paper plots them (the tables remain the source of truth).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots log10(y), matching the paper's log-scale running-time
+	// axes (Figures 2 and 5).
+	LogY   bool
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// seriesMarkers are assigned to series in order.
+var seriesMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// AddSeries appends a named series. xs and ys must have equal length;
+// non-finite or non-positive-under-log values are skipped at render time.
+func (c *Chart) AddSeries(name string, xs, ys []float64) {
+	m := seriesMarkers[len(c.series)%len(seriesMarkers)]
+	c.series = append(c.series, chartSeries{name: name, marker: m, xs: xs, ys: ys})
+}
+
+// Render draws the chart to w. Empty charts render a placeholder line.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "-- %s --\n", c.Title)
+	}
+
+	type pt struct {
+		x, y float64
+		m    byte
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, pt{x, y, s.marker})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if len(pts) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		col := int((p.x - minX) / (maxX - minX) * float64(width-1))
+		row := int((p.y - minY) / (maxY - minY) * float64(height-1))
+		r := height - 1 - row // invert: big y on top
+		grid[r][col] = p.m
+	}
+
+	yFmt := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("%9.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = yFmt(maxY)
+		case height - 1:
+			label = yFmt(minY)
+		case (height - 1) / 2:
+			label = yFmt((minY + maxY) / 2)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*s%*s\n", strings.Repeat(" ", 9), width/2,
+		fmt.Sprintf("%.3g", minX), width-width/2, fmt.Sprintf("%.3g", maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s   y: %s\n", strings.Repeat(" ", 9), c.XLabel, c.YLabel)
+	}
+	var legend []string
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.marker, s.name))
+	}
+	fmt.Fprintf(w, "%s  %s\n\n", strings.Repeat(" ", 9), strings.Join(legend, "   "))
+}
+
+// chartFromTable builds a chart from numeric table columns: xCol supplies
+// x values and each (col, name) pair becomes one series. Cells that fail
+// to parse are skipped.
+func chartFromTable(t *Table, title, xLabel, yLabel string, logY bool, xCol int, cols []int, names []string) *Chart {
+	c := &Chart{Title: title, XLabel: xLabel, YLabel: yLabel, LogY: logY}
+	for si, col := range cols {
+		var xs, ys []float64
+		for _, row := range t.Rows {
+			if xCol >= len(row) || col >= len(row) {
+				continue
+			}
+			var x, y float64
+			if _, err := fmt.Sscan(row[xCol], &x); err != nil {
+				continue
+			}
+			if _, err := fmt.Sscan(row[col], &y); err != nil {
+				continue
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		c.AddSeries(names[si], xs, ys)
+	}
+	return c
+}

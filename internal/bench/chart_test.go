@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasic(t *testing.T) {
+	c := &Chart{Title: "demo", XLabel: "n", YLabel: "s"}
+	c.AddSeries("a", []float64{1, 2, 3}, []float64{10, 20, 30})
+	c.AddSeries("b", []float64{1, 2, 3}, []float64{30, 20, 10})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"-- demo --", "* a", "o b", "x: n", "y: s", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart missing data markers")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Errorf("empty chart rendered %q", buf.String())
+	}
+}
+
+func TestChartLogYSkipsNonPositive(t *testing.T) {
+	c := &Chart{LogY: true}
+	c.AddSeries("a", []float64{1, 2, 3}, []float64{0, -5, 100})
+	var buf bytes.Buffer
+	c.Render(&buf) // must not panic; only the positive point plots
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("positive point not plotted")
+	}
+}
+
+func TestChartSkipsNaNInf(t *testing.T) {
+	c := &Chart{}
+	c.AddSeries("a", []float64{1, math.NaN(), 3}, []float64{math.Inf(1), 2, 3})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if strings.Contains(buf.String(), "(no data)") {
+		t.Error("finite point should have plotted")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate ranges (all x equal, all y equal) must not divide by zero.
+	c := &Chart{}
+	c.AddSeries("a", []float64{5, 5, 5}, []float64{7, 7, 7})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("nothing rendered")
+	}
+}
+
+func TestChartMarkerCycle(t *testing.T) {
+	c := &Chart{}
+	for i := 0; i < len(seriesMarkers)+2; i++ {
+		c.AddSeries("s", []float64{1}, []float64{1})
+	}
+	if c.series[0].marker != c.series[len(seriesMarkers)].marker {
+		t.Error("markers should cycle")
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	tab := &Table{Headers: []string{"n", "t1", "t2", "label"}}
+	tab.AddRow(100, "0.5", "1.5", "x")
+	tab.AddRow(200, "0.7", "bad", "y") // unparseable cell skipped
+	c := chartFromTable(tab, "ct", "n", "s", false, 0, []int{1, 2}, []string{"a", "b"})
+	if len(c.series) != 2 {
+		t.Fatalf("series = %d", len(c.series))
+	}
+	if len(c.series[0].xs) != 2 {
+		t.Errorf("series a points = %d, want 2", len(c.series[0].xs))
+	}
+	if len(c.series[1].xs) != 1 {
+		t.Errorf("series b points = %d, want 1 (bad cell skipped)", len(c.series[1].xs))
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "-- ct --") {
+		t.Error("render failed")
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+	"repro/internal/rec"
+	"repro/internal/sortcmp"
+)
+
+// RunFig1 regenerates Figure 1 (a–c): the parallel running time and the
+// percentage of heavy records for each distribution class as a function of
+// the distribution parameter.
+func RunFig1(o Options) []*Table {
+	o = o.withDefaults()
+	P := o.MaxProcs()
+	var out []*Table
+	classes := []struct {
+		kind   distgen.Kind
+		params []float64
+	}{
+		{distgen.Exponential, []float64{100, 1e3, 1e4, 1e5, 3e5, 1e6}},
+		{distgen.Uniform, []float64{10, 1e5, 3.2e5, 5e5, 1e6, 1e8}},
+		{distgen.Zipfian, []float64{1e4, 1e5, 1e6, 1e7, 1e8}},
+	}
+	scale := float64(o.N) / 1e8
+	for _, cl := range classes {
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 1 — %s distributions, n=%d, p=%d", cl.kind, o.N, P),
+			Headers: []string{"param(paper)", "param(scaled)", "time(s)", "%heavy"},
+		}
+		for _, paper := range cl.params {
+			param := paper * scale
+			if param < 1 {
+				param = 1
+			}
+			a := distgen.Generate(P, o.N, distgen.Spec{Kind: cl.kind, Param: param}, o.Seed)
+			d := semisortTime(a, P, o.Reps, o.Seed+7)
+			t.AddRow(fmt.Sprintf("%g", paper), fmt.Sprintf("%g", param), secs(d),
+				pct(distgen.HeavyFraction(a, heavyThreshold)))
+		}
+		t.Notes = append(t.Notes,
+			"paper: fastest cases are >99% heavy (no local sort); slowest are near the heavy/light threshold; spread ≈ 20%")
+		out = append(out, t)
+	}
+	render(o, out...)
+	return out
+}
+
+// RunFig2 regenerates Figure 2 (a–b): running time versus thread count for
+// the parallel semisort and the radix sort on the two representative
+// distributions.
+func RunFig2(o Options) []*Table {
+	o = o.withDefaults()
+	var out []*Table
+	for _, d := range []struct {
+		name string
+		spec distgen.Spec
+	}{
+		{"exponential λ=n/10^3", repExponential(o.N)},
+		{"uniform N=n", repUniform(o.N)},
+	} {
+		a := distgen.Generate(o.MaxProcs(), o.N, d.spec, o.Seed)
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 2 — time vs threads, %s, n=%d", d.name, o.N),
+			Headers: []string{"threads", "semisort(s)", "radix(s)", "semisort_speedup", "radix_speedup"},
+		}
+		var semi1, rad1 time.Duration
+		for i, p := range o.Procs {
+			st := semisortTime(a, p, o.Reps, o.Seed+7)
+			rt := radixTime(a, p, o.Reps)
+			if i == 0 {
+				semi1, rad1 = st, rt
+			}
+			t.AddRow(p, secs(st), secs(rt), ratio(semi1, st), ratio(rad1, rt))
+		}
+		t.Notes = append(t.Notes, "paper: semisort reaches ~2x the radix sort's speedup (radix makes more full passes over memory)")
+		out = append(out, t)
+	}
+	render(o, out...)
+	for _, t := range out {
+		chartFromTable(t, t.Title+" (chart)", "threads", "seconds", true,
+			0, []int{1, 2}, []string{"semisort", "radix"}).Render(o.Out)
+	}
+	return out
+}
+
+// RunFig3 regenerates Figure 3: the stacked phase-percentage breakdown for
+// sequential and parallel runs of both representative distributions (the
+// chart form of Tables 2 and 3).
+func RunFig3(o Options) []*Table {
+	o = o.withDefaults()
+	t2 := breakdown(o, "Figure 3(a) — phase percentages, exponential λ=n/10^3", repExponential(o.N))
+	t3 := breakdown(o, "Figure 3(b) — phase percentages, uniform N=n", repUniform(o.N))
+	render(o, t2, t3)
+	return []*Table{t2, t3}
+}
+
+// RunFig4 regenerates Figure 4 (a–d): parallel speedup and records/second
+// versus input size for the four algorithms (sample sort, radix sort, STL
+// sort, parallel semisort) on both representative distributions.
+func RunFig4(o Options) []*Table {
+	o = o.withDefaults()
+	P := o.MaxProcs()
+	var out []*Table
+	for _, d := range []struct {
+		name string
+		spec func(n int) distgen.Spec
+	}{
+		{"exponential λ=n/10^3", repExponential},
+		{"uniform N=n", repUniform},
+	} {
+		t := &Table{
+			Title: fmt.Sprintf("Figure 4 — speedup and Mrec/s vs n, %s, p=%d", d.name, P),
+			Headers: []string{"n",
+				"sample_su", "radix_su", "stl_su", "semisort_su",
+				"sample_Mr/s", "radix_Mr/s", "stl_Mr/s", "semisort_Mr/s"},
+		}
+		for _, n := range o.Sizes {
+			a := distgen.Generate(P, n, d.spec(n), o.Seed)
+			buf := make([]rec.Record, n)
+			run := func(fn func([]rec.Record)) time.Duration {
+				return timeIt(o.Reps, func() {
+					copy(buf, a)
+					fn(buf)
+				})
+			}
+			sampSeq := run(func(b []rec.Record) { sortcmp.SampleSort(1, b) })
+			sampPar := run(func(b []rec.Record) { sortcmp.SampleSort(P, b) })
+			radSeq := radixTime(a, 1, o.Reps)
+			radPar := radixTime(a, P, o.Reps)
+			stlSeq := run(func(b []rec.Record) { sortcmp.Introsort(b) })
+			stlPar := run(func(b []rec.Record) { sortcmp.ParallelQuicksort(P, b) })
+			semiSeq := semisortTime(a, 1, o.Reps, o.Seed+7)
+			semiPar := semisortTime(a, P, o.Reps, o.Seed+7)
+
+			mr := func(d time.Duration) string {
+				return fmt.Sprintf("%.1f", float64(n)/d.Seconds()/1e6)
+			}
+			t.AddRow(n,
+				ratio(sampSeq, sampPar), ratio(radSeq, radPar), ratio(stlSeq, stlPar), ratio(semiSeq, semiPar),
+				mr(sampPar), mr(radPar), mr(stlPar), mr(semiPar))
+		}
+		t.Notes = append(t.Notes,
+			"paper: semisort's records/sec grows with n (linear work); comparison sorts decline past 10^8; STL speedup caps ~20")
+		out = append(out, t)
+	}
+	render(o, out...)
+	for _, t := range out {
+		chartFromTable(t, t.Title+" (chart)", "n", "Mrec/s", false,
+			0, []int{5, 6, 7, 8}, []string{"samplesort", "radix", "stl", "semisort"}).Render(o.Out)
+	}
+	return out
+}
+
+// RunFig5 regenerates Figure 5: parallel running time versus input size
+// for the semisort on both distributions against the scatter+pack floor.
+func RunFig5(o Options) []*Table {
+	o = o.withDefaults()
+	P := o.MaxProcs()
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 5 — parallel time vs n (p=%d)", P),
+		Headers: []string{"n", "exponential(s)", "uniform(s)", "scatter+pack(s)", "uni/floor"},
+	}
+	for _, n := range o.Sizes {
+		exp := distgen.Generate(P, n, repExponential(n), o.Seed)
+		uni := distgen.Generate(P, n, repUniform(n), o.Seed+1)
+		et := semisortTime(exp, P, o.Reps, o.Seed+7)
+		ut := semisortTime(uni, P, o.Reps, o.Seed+7)
+		var sp core.ScatterPackTimes
+		timeIt(o.Reps, func() { _, sp = core.ScatterPack(P, uni, o.Seed+9) })
+		t.AddRow(n, secs(et), secs(ut), secs(sp.Total()), ratio(ut, sp.Total()))
+	}
+	t.Notes = append(t.Notes, "paper: semisort is within 1.5-2x of the scatter+pack floor, improving with larger n")
+	render(o, t)
+	chartFromTable(t, "Figure 5 (chart)", "n", "seconds", true,
+		0, []int{1, 2, 3}, []string{"exponential", "uniform", "scatter+pack"}).Render(o.Out)
+	return []*Table{t}
+}

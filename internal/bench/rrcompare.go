@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/distgen"
+	"repro/internal/rrsort"
+)
+
+// RunRRCompare measures Section 3.2's claim: semisorting via the
+// Rajasekaran–Reif integer-sorting route (naming to reduce the hash range
+// to [n], then RR integer sort) is not competitive, because the naming
+// pass alone costs about as much as the whole hash-table semisort, and the
+// integer sort adds global data movement on top. The table reports both
+// routes on the two representative distributions across the Procs sweep.
+func RunRRCompare(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Section 3.2 — top-down semisort vs naming+RR integer sort, n=%d", o.N),
+		Headers: append([]string{"dist", "route"}, procHeaders(o.Procs, "t")...),
+	}
+	for _, d := range []struct {
+		name string
+		spec distgen.Spec
+	}{
+		{"exponential", repExponential(o.N)},
+		{"uniform", repUniform(o.N)},
+	} {
+		a := distgen.Generate(o.MaxProcs(), o.N, d.spec, o.Seed)
+
+		semiRow := []string{d.name, "semisort"}
+		rrRow := []string{d.name, "naming+RR"}
+		for _, p := range o.Procs {
+			semiRow = append(semiRow, secs(semisortTime(a, p, o.Reps, o.Seed+7)))
+			rrT := timeIt(o.Reps, func() {
+				if _, err := rrsort.SemisortViaRR(p, a, o.Seed+7); err != nil {
+					panic(err)
+				}
+			})
+			rrRow = append(rrRow, secs(rrT))
+		}
+		t.Rows = append(t.Rows, semiRow, rrRow)
+	}
+	t.Notes = append(t.Notes,
+		"paper (Sec 3.2): the RR route needs an extra full naming pass and global counting-sort rounds; the top-down semisort avoids both")
+	render(o, t)
+	return []*Table{t}
+}

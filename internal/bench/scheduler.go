@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/distgen"
+	"repro/internal/parallel"
+	"repro/internal/rec"
+	"repro/internal/sortcmp"
+)
+
+// RunSchedulers compares the two fork–join runtimes on the divide-and-
+// conquer sorts: the bounded-goroutine Limiter (this library's default)
+// versus the work-stealing Pool (the Cilk-style scheduler the paper's
+// implementation runs on). On a multicore machine this isolates the
+// scheduling-policy contribution the paper attributes to Cilk's
+// work-stealing runtime ("W/P + O(D)").
+func RunSchedulers(o Options) []*Table {
+	o = o.withDefaults()
+	P := o.MaxProcs()
+	a := distgen.Generate(P, o.N, repUniform(o.N), o.Seed)
+	buf := make([]rec.Record, o.N)
+
+	run := func(fn func([]rec.Record)) time.Duration {
+		return timeIt(o.Reps, func() {
+			copy(buf, a)
+			fn(buf)
+		})
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Schedulers — Limiter vs work-stealing Pool, n=%d, p=%d", o.N, P),
+		Headers: []string{"algorithm", "limiter(s)", "pool(s)", "pool/limiter"},
+	}
+
+	pool := parallel.NewPool(P)
+	defer pool.Close()
+	lim := parallel.NewLimiter(P)
+
+	cases := []struct {
+		name    string
+		limiter func([]rec.Record)
+		pooled  func([]rec.Record)
+	}{
+		{"parallel quicksort",
+			func(b []rec.Record) { sortcmp.ParallelQuicksortOn(lim, b) },
+			func(b []rec.Record) { sortcmp.ParallelQuicksortOn(pool, b) }},
+		{"parallel mergesort",
+			func(b []rec.Record) { sortcmp.MergeSortOn(lim, b) },
+			func(b []rec.Record) { sortcmp.MergeSortOn(pool, b) }},
+	}
+	for _, c := range cases {
+		lt := run(c.limiter)
+		pt := run(c.pooled)
+		t.AddRow(c.name, secs(lt), secs(pt), ratio(pt, lt))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("pool steals observed: %d; both schedulers run the same sort code through the Joiner interface", pool.Steals.Load()))
+	render(o, t)
+	return []*Table{t}
+}

@@ -1,0 +1,740 @@
+// Package core implements the top-down parallel semisort algorithm of
+// Gu, Shun, Sun and Blelloch (SPAA 2015).
+//
+// Given an array of records whose 64-bit keys are (or behave like) uniform
+// hash values, Semisort returns the records reordered so that equal keys
+// are contiguous. The algorithm runs in five phases, mirroring Section 4
+// of the paper:
+//
+//  1. Sampling and sorting: pick one key from every SampleRate-record block
+//     (stratified sampling with probability p = 1/SampleRate) and sort the
+//     sample with the parallel radix sort.
+//  2. Bucket construction: classify sampled keys as heavy (≥ Delta sample
+//     occurrences) or light; allocate one array per heavy key and one per
+//     hash range of light keys, sizing each with the high-probability
+//     estimate f(s) from Section 3.1; record heavy keys in a
+//     phase-concurrent hash table. Adjacent light buckets with fewer than
+//     Delta samples are merged (the ~10% memory optimization of Phase 2).
+//  3. Scattering: write every record to a pseudo-random slot of its bucket,
+//     claiming slots with compare-and-swap and linear probing on collision.
+//  4. Local sort: compact each light bucket and semisort it locally
+//     (hybrid comparison sort by default, or the Rajasekaran–Reif style
+//     naming + two-pass counting sort).
+//  5. Packing: compact the heavy region with the interval technique
+//     (Section 4, Phase 5) and copy the already-compact light buckets, all
+//     into one contiguous output array.
+//
+// A scatter overflow (a bucket smaller than its actual multiplicity, which
+// has probability O(n^{-c})) is detected and the algorithm restarts with
+// doubled slack, making the implementation Las Vegas with respect to
+// bucket sizing, exactly as the end of Section 3 prescribes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hash"
+	"repro/internal/hashtable"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+	"repro/internal/rec"
+	"repro/internal/sortcmp"
+	"repro/internal/sortint"
+)
+
+// LocalSortKind selects the Phase 4 algorithm for light buckets.
+type LocalSortKind int
+
+const (
+	// LocalSortHybrid sorts each light bucket with the introsort hybrid
+	// (the paper's final choice: "the sort in the C++ Standard Library").
+	LocalSortHybrid LocalSortKind = iota
+	// LocalSortCounting semisorts each light bucket with the naming
+	// problem (a small hash table assigning dense labels) followed by two
+	// passes of stable counting sort, as in the theoretical algorithm.
+	LocalSortCounting
+	// LocalSortBucket sorts each light bucket with a classic bucket sort
+	// over the (near-uniform) hashed keys — one of the alternatives the
+	// paper reports trying in Phase 4 before settling on std::sort.
+	LocalSortBucket
+)
+
+// ProbeKind selects the Phase 3 collision strategy.
+type ProbeKind int
+
+const (
+	// ProbeLinear retries at the next slot on CAS failure (the paper's
+	// choice, for cache locality).
+	ProbeLinear ProbeKind = iota
+	// ProbeRandom draws a fresh random slot on CAS failure (the
+	// theoretical placement-problem's per-record strategy); kept for
+	// ablation.
+	ProbeRandom
+	// ProbeBlockRounds runs the placement exactly as Section 3 describes
+	// it: the input is partitioned into blocks of ~log n records and
+	// placement proceeds in synchronous rounds, each block attempting one
+	// uninserted record per round at a fresh random slot. Expected
+	// α/(α−1)·log n rounds; kept for ablation against the practical CAS
+	// loop.
+	ProbeBlockRounds
+)
+
+// Config holds the algorithm's tuning parameters. The zero value selects
+// the paper's defaults (Section 4): p = 1/16, δ = 16, 2^16 light buckets,
+// c = 1.25, slack 1.1, bucket merging on, hybrid local sort, linear
+// probing.
+type Config struct {
+	// Procs is the number of workers; <= 0 means GOMAXPROCS.
+	Procs int
+	// SampleRate is 1/p: one key is sampled from each block of SampleRate
+	// records. Default 16.
+	SampleRate int
+	// Delta is the heavy-key threshold δ: a key with at least Delta
+	// occurrences in the sample is heavy. Default 16.
+	Delta int
+	// MaxLightBuckets caps the number of hash-range slices for light keys.
+	// The effective count adapts downward for small inputs. Default 2^16.
+	MaxLightBuckets int
+	// C is the constant c in the f(s) estimate. Default 1.25.
+	C float64
+	// Slack multiplies f(s) when sizing bucket arrays. Default 1.1.
+	Slack float64
+	// DisableBucketMerging turns off the merging of adjacent light buckets
+	// that have fewer than Delta samples (ablation).
+	DisableBucketMerging bool
+	// ExactBucketSizes skips the paper's round-up-to-power-of-two when
+	// sizing bucket arrays, using ⌈Slack·f(s)⌉ exactly. This deviates from
+	// the paper's Phase 2 but reduces slot memory (and hence scatter
+	// traffic) by ~1.4x on average; see the ablation benches.
+	ExactBucketSizes bool
+	// LocalSort selects the Phase 4 algorithm.
+	LocalSort LocalSortKind
+	// Probe selects the Phase 3 collision strategy.
+	Probe ProbeKind
+	// MaxRetries bounds Las Vegas restarts after bucket overflow. Each
+	// retry doubles Slack. Default 4.
+	MaxRetries int
+	// Seed makes runs reproducible; retries derive fresh randomness from
+	// it deterministically.
+	Seed uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{}
+	if c != nil {
+		out = *c
+	}
+	if out.SampleRate <= 0 {
+		out.SampleRate = 16
+	}
+	if out.Delta <= 0 {
+		out.Delta = 16
+	}
+	if out.MaxLightBuckets <= 0 {
+		out.MaxLightBuckets = 1 << 16
+	}
+	if out.C <= 0 {
+		out.C = 1.25
+	}
+	if out.Slack <= 0 {
+		out.Slack = 1.1
+	}
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 4
+	}
+	out.Procs = parallel.Procs(out.Procs)
+	return out
+}
+
+// PhaseTimes records wall-clock time per phase, using the same five-phase
+// breakdown as Tables 2 and 3 of the paper.
+type PhaseTimes struct {
+	SampleSort time.Duration // Phase 1: sampling and sorting
+	Buckets    time.Duration // Phase 2: bucket allocation
+	Scatter    time.Duration // Phase 3: scattering
+	LocalSort  time.Duration // Phase 4: local sort
+	Pack       time.Duration // Phase 5: packing
+}
+
+// Total returns the sum over phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.SampleSort + p.Buckets + p.Scatter + p.LocalSort + p.Pack
+}
+
+// Stats describes one semisort execution.
+type Stats struct {
+	N               int        // number of input records
+	SampleSize      int        // |S|
+	HeavyKeys       int        // distinct heavy keys
+	LightBuckets    int        // light buckets after merging
+	SlotsAllocated  int        // total bucket array slots (≈ Σ slack·f(s))
+	HeavyRecords    int        // records placed via the heavy path
+	Retries         int        // Las Vegas restarts due to overflow
+	EffectiveSlack  float64    // slack used by the successful attempt
+	Phases          PhaseTimes // per-phase wall-clock breakdown
+	MaxProbeCluster int        // longest probe run observed in Phase 3
+}
+
+// ErrOverflow is returned (wrapped) only when MaxRetries attempts all
+// overflowed a bucket; with the default configuration its probability is
+// astronomically small.
+var ErrOverflow = errors.New("semisort: bucket overflow")
+
+// A Workspace holds the algorithm's scratch buffers (sample arrays, slot
+// array, occupancy flags) so repeated semisorts can reuse memory instead of
+// reallocating ~4-6n slots per call. A zero Workspace is ready to use; it
+// grows on demand and is NOT safe for concurrent use by multiple semisorts.
+type Workspace struct {
+	sample        []uint64
+	sampleScratch []uint64
+	slots         []rec.Record
+	occ           []uint32
+}
+
+// getSample returns sample key buffers of length ns.
+func (w *Workspace) getSample(ns int) (sample, scratch []uint64) {
+	if cap(w.sample) < ns {
+		w.sample = make([]uint64, ns)
+		w.sampleScratch = make([]uint64, ns)
+	}
+	return w.sample[:ns], w.sampleScratch[:ns]
+}
+
+// getSlots returns a slot array and cleared occupancy flags of length total.
+func (w *Workspace) getSlots(total int64) ([]rec.Record, []uint32) {
+	if int64(cap(w.slots)) < total {
+		w.slots = make([]rec.Record, total)
+		w.occ = make([]uint32, total)
+		return w.slots, w.occ
+	}
+	occ := w.occ[:total]
+	clear(occ)
+	return w.slots[:total], occ
+}
+
+// Semisort returns a new array holding the records of a with equal keys
+// contiguous. The input is not modified. Callers performing many semisorts
+// should use SemisortWS with a reused Workspace.
+func Semisort(a []rec.Record, cfg *Config) ([]rec.Record, Stats, error) {
+	return SemisortWS(nil, a, cfg)
+}
+
+// SemisortWS is Semisort with a caller-managed scratch workspace. A nil ws
+// allocates a private workspace for this call.
+func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) ([]rec.Record, Stats, error) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	c := cfg.withDefaults()
+	var stats Stats
+	for attempt := 0; ; attempt++ {
+		out, s, err := semisortOnce(ws, a, c, attempt)
+		s.Retries = attempt
+		s.EffectiveSlack = c.Slack
+		if err == nil {
+			return out, s, nil
+		}
+		if !errors.Is(err, ErrOverflow) || attempt+1 >= c.MaxRetries {
+			stats = s
+			return nil, stats, fmt.Errorf("semisort failed after %d attempts: %w", attempt+1, err)
+		}
+		c.Slack *= 2
+	}
+}
+
+// bucket describes one slot range: [off, off+sz) in the slot arrays.
+type bucket struct {
+	off int64
+	sz  uint64 // a power of two unless Config.ExactBucketSizes is set
+}
+
+// sizeEstimate is the paper's f(s) multiplied by slack and, unless exact
+// sizing is requested, rounded up to a power of two (Section 4, Phase 2):
+// the high-probability bound on the record count of a bucket with s sample
+// hits. Exact sizing trades the cheap power-of-two masking for ~1.4x less
+// slot memory (measured in the ablation benches).
+func sizeEstimate(s int, logn float64, c, slack float64, rate int, exact bool) int {
+	cln := c * logn
+	f := (float64(s) + cln + math.Sqrt(cln*cln+2*float64(s)*cln)) * float64(rate)
+	size := int(math.Ceil(slack * f))
+	if size < 4 {
+		size = 4
+	}
+	if exact {
+		return size
+	}
+	return 1 << uint(bits.Len(uint(size-1)))
+}
+
+func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.Record, Stats, error) {
+	n := len(a)
+	var stats Stats
+	stats.N = n
+	if n == 0 {
+		return []rec.Record{}, stats, nil
+	}
+	procs := c.Procs
+	logn := math.Log(math.Max(float64(n), 2))
+	rng := hash.NewRNG(c.Seed + uint64(attempt)*0x9e3779b97f4a7c15 + 1)
+
+	// ------------------------------------------------------------------
+	// Phase 1: sampling and sorting.
+	t0 := time.Now()
+	rate := c.SampleRate
+	ns := n / rate
+	sample, sampleScratch := ws.getSample(ns)
+	parallel.For(procs, ns, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := i*rate + int(rng.RandBounded(uint64(i), uint64(rate)))
+			sample[i] = a[j].Key
+		}
+	})
+	if ns > 0 {
+		sortint.SortUint64With(procs, sample, sampleScratch)
+	}
+	stats.SampleSize = ns
+	stats.Phases.SampleSort = time.Since(t0)
+
+	// ------------------------------------------------------------------
+	// Phase 2: bucket construction.
+	t0 = time.Now()
+
+	// Offsets of distinct-key runs in the sorted sample.
+	runStarts := prim.PackIndex(procs, ns, func(i int) bool {
+		return i == 0 || sample[i] != sample[i-1]
+	})
+	numRuns := len(runStarts)
+
+	// Effective light bucket count: ~n/1024 hash-range slices, matching the
+	// paper's records-per-bucket ratio (2^16 buckets for n=10^8 is ~1500
+	// records each); we adapt for smaller n instead of fixing 2^16.
+	numLight := 1
+	if n > 1024 {
+		numLight = 1 << uint(bits.Len(uint(n/1024-1)))
+	}
+	if numLight > c.MaxLightBuckets {
+		numLight = c.MaxLightBuckets
+	}
+	shift := uint(64 - bits.Len(uint(numLight-1)))
+	if numLight == 1 {
+		shift = 64
+	}
+
+	// Classify runs: heavy runs are collected; light runs contribute their
+	// count to the hash-range histogram.
+	type heavyRun struct {
+		key   uint64
+		count int32
+	}
+	lightCounts := make([]int32, numLight)
+	heavyLists := make([][]heavyRun, 0)
+	var heavyMu atomic.Int64 // count of heavy keys (cheap stat)
+	{
+		grain := parallel.Grain(numRuns, procs, 512)
+		nblocks := 0
+		if numRuns > 0 {
+			nblocks = (numRuns + grain - 1) / grain
+		}
+		heavyLists = make([][]heavyRun, nblocks)
+		parallel.For(procs, nblocks, 1, func(blo, bhi int) {
+			for blk := blo; blk < bhi; blk++ {
+				s, e := blk*grain, min((blk+1)*grain, numRuns)
+				var local []heavyRun
+				for ri := s; ri < e; ri++ {
+					start := int(runStarts[ri])
+					end := ns
+					if ri+1 < numRuns {
+						end = int(runStarts[ri+1])
+					}
+					count := int32(end - start)
+					if int(count) >= c.Delta {
+						local = append(local, heavyRun{key: sample[start], count: count})
+					} else {
+						b := sample[start] >> shift
+						atomic.AddInt32(&lightCounts[b], count)
+					}
+				}
+				heavyLists[blk] = local
+				heavyMu.Add(int64(len(local)))
+			}
+		})
+	}
+	numHeavy := int(heavyMu.Load())
+
+	// Build the bucket table. Heavy buckets first, then (merged) light
+	// buckets, all carved out of one big slot array so Phase 5 can pack
+	// with simple interval scans.
+	buckets := make([]bucket, 0, numHeavy+numLight)
+	var slotTotal int64
+
+	// The heavy-key hash table maps key -> bucket index. One key value is
+	// reserved by the table as its empty marker; a heavy run with that
+	// exact key gets a dedicated bucket checked before the table lookup.
+	table := hashtable.New(max(numHeavy, 1))
+	emptyKeyBucket := int64(-1)
+	for _, lst := range heavyLists {
+		for _, hr := range lst {
+			size := sizeEstimate(int(hr.count), logn, c.C, c.Slack, rate, c.ExactBucketSizes)
+			b := bucket{off: slotTotal, sz: uint64(size)}
+			id := int64(len(buckets))
+			buckets = append(buckets, b)
+			slotTotal += int64(size)
+			if hr.key == hashtable.Empty {
+				emptyKeyBucket = id
+			} else {
+				table.Insert(hr.key, uint64(id))
+			}
+		}
+	}
+	heavySlotEnd := slotTotal
+
+	// Merged light buckets: combine adjacent hash-range slices until each
+	// merged bucket holds at least Delta samples (or a single slice when
+	// merging is disabled).
+	lightBucketOf := make([]int32, numLight)
+	firstLight := len(buckets)
+	{
+		start := 0
+		var acc int32
+		for i := 0; i < numLight; i++ {
+			acc += lightCounts[i]
+			atEnd := i == numLight-1
+			if !atEnd && !c.DisableBucketMerging && int(acc) < c.Delta {
+				continue
+			}
+			if c.DisableBucketMerging || int(acc) >= c.Delta || atEnd {
+				size := sizeEstimate(int(acc), logn, c.C, c.Slack, rate, c.ExactBucketSizes)
+				id := int32(len(buckets))
+				buckets = append(buckets, bucket{off: slotTotal, sz: uint64(size)})
+				slotTotal += int64(size)
+				for j := start; j <= i; j++ {
+					lightBucketOf[j] = id
+				}
+				start = i + 1
+				acc = 0
+			}
+		}
+	}
+	numLightMerged := len(buckets) - firstLight
+
+	slots, occ := ws.getSlots(slotTotal)
+	stats.HeavyKeys = numHeavy
+	stats.LightBuckets = numLightMerged
+	stats.SlotsAllocated = int(slotTotal)
+	stats.Phases.Buckets = time.Since(t0)
+
+	// ------------------------------------------------------------------
+	// Phase 3: scattering.
+	t0 = time.Now()
+	scatterRNG := hash.NewRNG(c.Seed ^ (uint64(attempt)+1)*0xd1342543de82ef95)
+
+	// bucketOf resolves a record to its bucket id and whether it took the
+	// heavy path.
+	bucketOf := func(r rec.Record) (int64, bool) {
+		if r.Key == hashtable.Empty {
+			if emptyKeyBucket >= 0 {
+				// The table's reserved key gets a dedicated heavy bucket.
+				return emptyKeyBucket, true
+			}
+			return int64(lightBucketOf[r.Key>>shift]), false
+		}
+		if v, ok := table.Lookup(r.Key); ok {
+			return int64(v), true
+		}
+		// lightBucketOf stores absolute bucket indices.
+		return int64(lightBucketOf[r.Key>>shift]), false
+	}
+
+	var overflow atomic.Bool
+	var heavyPlaced atomic.Int64
+	var maxCluster atomic.Int64
+
+	if c.Probe == ProbeBlockRounds {
+		if err := scatterBlockRounds(procs, a, buckets, slots, occ, bucketOf,
+			scatterRNG, c.ExactBucketSizes, &heavyPlaced); err != nil {
+			return nil, stats, err
+		}
+	} else {
+		parallel.For(procs, n, 8192, func(lo, hi int) {
+			if overflow.Load() {
+				return
+			}
+			localHeavy := int64(0)
+			localMaxRun := int64(0)
+			for i := lo; i < hi; i++ {
+				r := a[i]
+				bid, heavy := bucketOf(r)
+				if heavy {
+					localHeavy++
+				}
+				bk := buckets[bid]
+				pos := bucketPos(scatterRNG.Rand(uint64(i)), bk.sz, c.ExactBucketSizes)
+				placed := false
+				for try := uint64(0); try < bk.sz; try++ {
+					idx := bk.off + int64(pos)
+					if c.Probe == ProbeRandom {
+						idx = bk.off + int64(bucketPos(scatterRNG.Rand(uint64(i)^(try+1)<<32), bk.sz, c.ExactBucketSizes))
+					}
+					if atomic.CompareAndSwapUint32(&occ[idx], 0, 1) {
+						slots[idx] = r
+						placed = true
+						if int64(try) > localMaxRun {
+							localMaxRun = int64(try)
+						}
+						break
+					}
+					pos++
+					if pos == bk.sz {
+						pos = 0
+					}
+				}
+				if !placed {
+					overflow.Store(true)
+					return
+				}
+			}
+			heavyPlaced.Add(localHeavy)
+			for {
+				cur := maxCluster.Load()
+				if localMaxRun <= cur || maxCluster.CompareAndSwap(cur, localMaxRun) {
+					break
+				}
+			}
+		})
+		if overflow.Load() {
+			return nil, stats, ErrOverflow
+		}
+	}
+	stats.HeavyRecords = int(heavyPlaced.Load())
+	stats.MaxProbeCluster = int(maxCluster.Load())
+	stats.Phases.Scatter = time.Since(t0)
+
+	// ------------------------------------------------------------------
+	// Phase 4: local sort of light buckets (compact, then semisort).
+	t0 = time.Now()
+	lightCnt := make([]int32, numLightMerged)
+	parallel.ForEach(procs, numLightMerged, 1, func(j int) {
+		bk := buckets[firstLight+j]
+		lo, hi := bk.off, bk.off+int64(bk.sz)
+		w := lo
+		for i := lo; i < hi; i++ {
+			if occ[i] != 0 {
+				slots[w] = slots[i]
+				w++
+			}
+		}
+		cnt := int(w - lo)
+		lightCnt[j] = int32(cnt)
+		seg := slots[lo : lo+int64(cnt)]
+		switch c.LocalSort {
+		case LocalSortCounting:
+			countingSemisort(seg)
+		case LocalSortBucket:
+			bucketLocalSort(seg)
+		default:
+			sortcmp.Introsort(seg)
+		}
+	})
+	stats.Phases.LocalSort = time.Since(t0)
+
+	// ------------------------------------------------------------------
+	// Phase 5: packing.
+	t0 = time.Now()
+	out := make([]rec.Record, n)
+
+	// Heavy region: split [0, heavySlotEnd) into ~1000 intervals; compact
+	// each interval in place, prefix-sum the counts, copy out.
+	heavyTotal := 0
+	if heavySlotEnd > 0 {
+		intervals := 1000
+		if heavySlotEnd < int64(intervals)*64 {
+			intervals = int(heavySlotEnd/64) + 1
+		}
+		ilen := (heavySlotEnd + int64(intervals) - 1) / int64(intervals)
+		counts := make([]int32, intervals)
+		parallel.ForEach(procs, intervals, 1, func(iv int) {
+			lo := int64(iv) * ilen
+			hi := min64(lo+ilen, heavySlotEnd)
+			w := lo
+			for i := lo; i < hi; i++ {
+				if occ[i] != 0 {
+					slots[w] = slots[i]
+					w++
+				}
+			}
+			counts[iv] = int32(w - lo)
+		})
+		total := prim.ExclusiveScan(1, counts)
+		heavyTotal = int(total)
+		parallel.ForEach(procs, intervals, 1, func(iv int) {
+			lo := int64(iv) * ilen
+			cnt := int32(0)
+			if iv+1 < intervals {
+				cnt = counts[iv+1] - counts[iv]
+			} else {
+				cnt = total - counts[iv]
+			}
+			if cnt == 0 {
+				// Intervals past heavySlotEnd are empty, and their lo may
+				// exceed the slot array; indexing would panic.
+				return
+			}
+			copy(out[counts[iv]:int(counts[iv])+int(cnt)], slots[lo:lo+int64(cnt)])
+		})
+	}
+
+	// Light region: per-bucket counts are known; prefix sum for offsets,
+	// then parallel copy.
+	lightOffsets := make([]int32, numLightMerged)
+	copy(lightOffsets, lightCnt)
+	lightTotal := prim.ExclusiveScan(1, lightOffsets)
+	parallel.ForEach(procs, numLightMerged, 1, func(j int) {
+		bk := buckets[firstLight+j]
+		dst := heavyTotal + int(lightOffsets[j])
+		copy(out[dst:dst+int(lightCnt[j])], slots[bk.off:bk.off+int64(lightCnt[j])])
+	})
+	stats.Phases.Pack = time.Since(t0)
+
+	if heavyTotal+int(lightTotal) != n {
+		return nil, stats, fmt.Errorf("semisort internal error: packed %d of %d records", heavyTotal+int(lightTotal), n)
+	}
+	return out, stats, nil
+}
+
+// countingSemisort groups equal keys in seg using the naming problem (a
+// small hash table assigning dense labels in first-appearance order)
+// followed by two stable counting-sort passes over the label digits — the
+// Rajasekaran–Reif style local semisort from Step 7c of Algorithm 1.
+func countingSemisort(seg []rec.Record) {
+	n := len(seg)
+	if n <= 1 {
+		return
+	}
+	// Naming: dense labels in [0, m).
+	labels := make([]int32, n)
+	tbl := make(map[uint64]int32, 16)
+	for i, r := range seg {
+		l, ok := tbl[r.Key]
+		if !ok {
+			l = int32(len(tbl))
+			tbl[r.Key] = l
+		}
+		labels[i] = l
+	}
+	m := len(tbl)
+	if m == 1 {
+		return
+	}
+	// Two passes of stable counting sort on base-⌈sqrt(m)⌉ digits.
+	base := int(math.Ceil(math.Sqrt(float64(m))))
+	scratch := make([]rec.Record, n)
+	labScratch := make([]int32, n)
+	countingPass(seg, scratch, labels, labScratch, base, func(l int32) int { return int(l) % base })
+	countingPass(seg, scratch, labels, labScratch, (m+base-1)/base+1, func(l int32) int { return int(l) / base })
+}
+
+// countingPass stably sorts seg (and its labels, kept in lockstep) by
+// digit(label) in [0, m).
+func countingPass(seg, scratch []rec.Record, labels, labScratch []int32, m int, digit func(int32) int) {
+	counts := make([]int32, m+1)
+	for _, l := range labels {
+		counts[digit(l)+1]++
+	}
+	for b := 0; b < m; b++ {
+		counts[b+1] += counts[b]
+	}
+	for i, r := range seg {
+		d := digit(labels[i])
+		scratch[counts[d]] = r
+		labScratch[counts[d]] = labels[i]
+		counts[d]++
+	}
+	copy(seg, scratch)
+	copy(labels, labScratch)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// bucketPos maps a random word to a slot index in [0, size). Power-of-two
+// sizes use masking (the paper's choice); exact sizes use the multiply-
+// shift reduction.
+func bucketPos(r, size uint64, exact bool) uint64 {
+	if !exact {
+		return r & (size - 1)
+	}
+	hi, _ := bits.Mul64(r, size)
+	return hi
+}
+
+// bucketLocalSort sorts seg by key with a classic bucket sort: since the
+// keys within a light bucket are hash values falling in one hash range,
+// they are near-uniform, so distributing them over ~len(seg) sub-buckets
+// by linear interpolation leaves O(1) expected records per sub-bucket,
+// finished with insertion sort. One of the Phase 4 alternatives from the
+// paper's implementation section.
+func bucketLocalSort(seg []rec.Record) {
+	n := len(seg)
+	if n <= 32 {
+		sortcmp.Introsort(seg)
+		return
+	}
+	lo, hi := seg[0].Key, seg[0].Key
+	for _, r := range seg[1:] {
+		if r.Key < lo {
+			lo = r.Key
+		}
+		if r.Key > hi {
+			hi = r.Key
+		}
+	}
+	if lo == hi {
+		return // all keys equal
+	}
+	m := 1 << uint(bits.Len(uint(n-1))) // sub-buckets ≈ n, power of two
+	span := hi - lo
+	// Monotone near-uniform map of [lo, hi] onto [0, m): drop the bits of
+	// (k - lo) below the top log2(m) bits of the span.
+	sh := uint(0)
+	if sb, mb := bits.Len64(span), bits.Len(uint(m-1)); sb > mb {
+		sh = uint(sb - mb)
+	}
+	idx := func(k uint64) int {
+		b := int((k - lo) >> sh)
+		if b >= m {
+			b = m - 1
+		}
+		return b
+	}
+	counts := make([]int32, m+1)
+	for _, r := range seg {
+		counts[idx(r.Key)+1]++
+	}
+	for b := 0; b < m; b++ {
+		counts[b+1] += counts[b]
+	}
+	scratch := make([]rec.Record, n)
+	offs := make([]int32, m)
+	copy(offs, counts[:m])
+	for _, r := range seg {
+		b := idx(r.Key)
+		scratch[offs[b]] = r
+		offs[b]++
+	}
+	copy(seg, scratch)
+	for b := 0; b < m; b++ {
+		sub := seg[counts[b]:counts[b+1]]
+		if len(sub) > 1 {
+			sortcmp.Introsort(sub)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/distgen"
+	"repro/internal/rec"
+)
+
+// TestExactBucketSizes verifies the exact-sizing deviation stays correct
+// and actually reduces slot memory versus the power-of-two default.
+func TestExactBucketSizes(t *testing.T) {
+	for _, spec := range []distgen.Spec{
+		{Kind: distgen.Exponential, Param: 100},
+		{Kind: distgen.Uniform, Param: 100000},
+	} {
+		a := distgen.Generate(4, 100000, spec, 5)
+		outP, stP, err := Semisort(a, &Config{Procs: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outE, stE, err := Semisort(a, &Config{Procs: 4, Seed: 7, ExactBucketSizes: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, out := range [][]rec.Record{outP, outE} {
+			if !rec.IsSemisorted(out) || !rec.SamePermutation(a, out) {
+				t.Fatalf("%v: invalid semisort output", spec)
+			}
+		}
+		if stE.SlotsAllocated >= stP.SlotsAllocated {
+			t.Errorf("%v: exact sizing did not reduce slots: %d vs %d",
+				spec, stE.SlotsAllocated, stP.SlotsAllocated)
+		}
+	}
+}
+
+// TestExactSizesWithRandomProbe covers the exact-size + random-probe combo.
+func TestExactSizesWithRandomProbe(t *testing.T) {
+	a := distgen.Generate(4, 60000, distgen.Spec{Kind: distgen.Zipfian, Param: 10000}, 9)
+	out, _, err := Semisort(a, &Config{Procs: 4, ExactBucketSizes: true, Probe: ProbeRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.IsSemisorted(out) || !rec.SamePermutation(a, out) {
+		t.Fatal("invalid output")
+	}
+}
+
+// TestWorkspaceReuse runs many semisorts through one workspace, across
+// growing and shrinking sizes and both sizing modes.
+func TestWorkspaceReuse(t *testing.T) {
+	var ws Workspace
+	for i, n := range []int{50000, 1000, 100000, 10, 70000} {
+		a := distgen.Generate(2, n, distgen.Spec{Kind: distgen.Uniform, Param: float64(n/10 + 1)}, uint64(i))
+		cfg := &Config{Procs: 2, Seed: uint64(i), ExactBucketSizes: i%2 == 0}
+		out, _, err := SemisortWS(&ws, a, cfg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !rec.IsSemisorted(out) || !rec.SamePermutation(a, out) {
+			t.Fatalf("n=%d: invalid output on reused workspace", n)
+		}
+	}
+}
+
+func TestBucketPos(t *testing.T) {
+	for _, exact := range []bool{false, true} {
+		size := uint64(1024)
+		if exact {
+			size = 1000
+		}
+		for r := uint64(0); r < 1<<16; r += 97 {
+			p := bucketPos(r*0x9e3779b97f4a7c15, size, exact)
+			if p >= size {
+				t.Fatalf("exact=%v: pos %d out of [0,%d)", exact, p, size)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/distgen"
+	"repro/internal/rec"
+)
+
+// TestScatterBlockRounds runs the theory-faithful placement across the
+// workload matrix and checks correctness plus stat consistency with the
+// default scatter.
+func TestScatterBlockRounds(t *testing.T) {
+	specs := []distgen.Spec{
+		{Kind: distgen.Uniform, Param: 1e12},   // all light
+		{Kind: distgen.Uniform, Param: 20},     // all heavy
+		{Kind: distgen.Exponential, Param: 60}, // mixed
+		{Kind: distgen.Zipfian, Param: 1e4},    // skewed
+	}
+	for _, spec := range specs {
+		for _, procs := range []int{1, 4} {
+			a := distgen.Generate(4, 60000, spec, 31)
+			out, stats, err := Semisort(a, &Config{Procs: procs, Seed: 7, Probe: ProbeBlockRounds})
+			if err != nil {
+				t.Fatalf("%v procs=%d: %v", spec, procs, err)
+			}
+			if !rec.IsSemisorted(out) || !rec.SamePermutation(a, out) {
+				t.Fatalf("%v procs=%d: invalid output", spec, procs)
+			}
+			// Heavy classification must agree with the default scatter.
+			_, ref, err := Semisort(a, &Config{Procs: procs, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.HeavyRecords != ref.HeavyRecords {
+				t.Errorf("%v: rounds heavy=%d, default heavy=%d", spec, stats.HeavyRecords, ref.HeavyRecords)
+			}
+		}
+	}
+}
+
+func TestScatterBlockRoundsTiny(t *testing.T) {
+	for n := 0; n <= 20; n++ {
+		a := make([]rec.Record, n)
+		for i := range a {
+			a[i] = rec.Record{Key: uint64(i % 3), Value: uint64(i)}
+		}
+		out, _, err := Semisort(a, &Config{Probe: ProbeBlockRounds})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !rec.IsSemisorted(out) || !rec.SamePermutation(a, out) {
+			t.Fatalf("n=%d: invalid output", n)
+		}
+	}
+}
+
+func TestScatterBlockRoundsWithExactSizes(t *testing.T) {
+	a := distgen.Generate(4, 50000, distgen.Spec{Kind: distgen.Exponential, Param: 50}, 3)
+	out, _, err := Semisort(a, &Config{Probe: ProbeBlockRounds, ExactBucketSizes: true, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.IsSemisorted(out) || !rec.SamePermutation(a, out) {
+		t.Fatal("invalid output")
+	}
+}
+
+func TestLocalSortBucket(t *testing.T) {
+	for _, spec := range []distgen.Spec{
+		{Kind: distgen.Uniform, Param: 1e12},
+		{Kind: distgen.Uniform, Param: 3000},
+		{Kind: distgen.Zipfian, Param: 1e5},
+	} {
+		a := distgen.Generate(4, 80000, spec, 17)
+		out, _, err := Semisort(a, &Config{Procs: 4, LocalSort: LocalSortBucket})
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if !rec.IsSemisorted(out) || !rec.SamePermutation(a, out) {
+			t.Fatalf("%v: invalid output", spec)
+		}
+	}
+}
+
+func TestBucketLocalSortDirect(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{5},
+		{5, 5, 5, 5},
+		{9, 1, 8, 2, 7, 3},
+		{^uint64(0), 0, 1 << 63, 42},
+	}
+	for _, keys := range cases {
+		seg := make([]rec.Record, len(keys))
+		for i, k := range keys {
+			seg[i] = rec.Record{Key: k, Value: uint64(i)}
+		}
+		orig := append([]rec.Record(nil), seg...)
+		bucketLocalSort(seg)
+		if !rec.IsSorted(seg) {
+			t.Errorf("keys %v: not sorted: %v", keys, seg)
+		}
+		if !rec.SamePermutation(orig, seg) {
+			t.Errorf("keys %v: records lost", keys)
+		}
+	}
+}
+
+func TestBucketLocalSortLarge(t *testing.T) {
+	// Above the introsort fallback threshold, with duplicates and a narrow
+	// span to stress the index mapping.
+	seg := make([]rec.Record, 5000)
+	for i := range seg {
+		seg[i] = rec.Record{Key: 1<<40 + uint64(i*i%977), Value: uint64(i)}
+	}
+	orig := append([]rec.Record(nil), seg...)
+	bucketLocalSort(seg)
+	if !rec.IsSorted(seg) || !rec.SamePermutation(orig, seg) {
+		t.Fatal("large bucket sort failed")
+	}
+}

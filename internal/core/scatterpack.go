@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hash"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+	"repro/internal/rec"
+)
+
+// ScatterPackTimes reports the two component times of the baseline.
+type ScatterPackTimes struct {
+	Scatter time.Duration
+	Pack    time.Duration
+}
+
+// Total returns Scatter + Pack.
+func (t ScatterPackTimes) Total() time.Duration { return t.Scatter + t.Pack }
+
+// ScatterPack performs the paper's lower-bound baseline (Table 4,
+// Figure 5): every record is written to a pseudo-random slot of one big
+// array (claiming slots with CAS + linear probing) and the occupied slots
+// are then packed into a contiguous output. This is "the minimal work one
+// would need to do to perform semisorting" — a random scatter plus a pack —
+// against which the full algorithm's overhead is measured.
+//
+// The output is NOT semisorted; only the memory-traffic pattern matters.
+func ScatterPack(procs int, a []rec.Record, seed uint64) ([]rec.Record, ScatterPackTimes) {
+	n := len(a)
+	var times ScatterPackTimes
+	if n == 0 {
+		return []rec.Record{}, times
+	}
+	procs = parallel.Procs(procs)
+
+	// Array sized to the next power of two of 1.5n, so the probe chains
+	// stay short (the semisort's buckets have comparable total slack).
+	size := 1 << uint(bits.Len(uint(n+n/2-1)))
+	mask := uint64(size - 1)
+	slots := make([]rec.Record, size)
+	occ := make([]uint32, size)
+	rng := hash.NewRNG(seed)
+
+	t0 := time.Now()
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos := rng.Rand(uint64(i)) & mask
+			for try := uint64(0); ; try++ {
+				idx := (pos + try) & mask
+				if atomic.CompareAndSwapUint32(&occ[idx], 0, 1) {
+					slots[idx] = a[i]
+					break
+				}
+			}
+		}
+	})
+	times.Scatter = time.Since(t0)
+
+	t0 = time.Now()
+	out := make([]rec.Record, n)
+	intervals := 1000
+	if size < intervals*64 {
+		intervals = size/64 + 1
+	}
+	ilen := (size + intervals - 1) / intervals
+	counts := make([]int32, intervals)
+	parallel.ForEach(procs, intervals, 1, func(iv int) {
+		lo := iv * ilen
+		hi := min(lo+ilen, size)
+		w := lo
+		for i := lo; i < hi; i++ {
+			if occ[i] != 0 {
+				slots[w] = slots[i]
+				w++
+			}
+		}
+		counts[iv] = int32(w - lo)
+	})
+	total := prim.ExclusiveScan(1, counts)
+	parallel.ForEach(procs, intervals, 1, func(iv int) {
+		lo := iv * ilen
+		var cnt int32
+		if iv+1 < intervals {
+			cnt = counts[iv+1] - counts[iv]
+		} else {
+			cnt = total - counts[iv]
+		}
+		if cnt == 0 {
+			return // lo may lie past the slot array for trailing intervals
+		}
+		copy(out[counts[iv]:int(counts[iv])+int(cnt)], slots[lo:lo+int(cnt)])
+	})
+	times.Pack = time.Since(t0)
+	return out, times
+}

@@ -1,0 +1,231 @@
+// Package distgen generates the paper's input workloads (Section 5.1):
+// arrays of 16-byte records (8-byte hashed key + 8-byte payload) whose
+// original keys are drawn from uniform, exponential or Zipfian
+// distributions and then hashed to 64 bits.
+//
+//   - Uniform(N): keys uniform over [N]; smaller N means more duplicates.
+//   - Exponential(λ): keys are ⌊X⌋ for X exponential with mean λ.
+//   - Zipfian(M): key i ∈ [M] has probability 1/(i·H_M).
+//
+// Generation is deterministic in the seed and parallel. The paper's 17
+// Table-1 parameter settings are exposed as TableOneSettings.
+package distgen
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/hash"
+	"repro/internal/parallel"
+	"repro/internal/rec"
+)
+
+// Kind names a distribution class.
+type Kind int
+
+const (
+	Uniform Kind = iota
+	Exponential
+	Zipfian
+)
+
+// String returns the class name as used in the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Exponential:
+		return "exponential"
+	case Zipfian:
+		return "zipfian"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec describes one workload: a distribution class and its parameter
+// (N for uniform, λ for exponential, M for Zipfian).
+type Spec struct {
+	Kind  Kind
+	Param float64
+}
+
+// Generate produces n records with keys drawn from the spec's distribution
+// and hashed to 64 bits, and payloads equal to the record index. It is
+// deterministic in seed.
+func Generate(procs, n int, s Spec, seed uint64) []rec.Record {
+	a := make([]rec.Record, n)
+	f := hash.NewFamily(seed ^ 0xABCD)
+	rng := hash.NewRNG(seed)
+	var z *zipfSampler
+	if s.Kind == Zipfian {
+		z = newZipfSampler(uint64(s.Param))
+	}
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var orig uint64
+			u := rng.Rand(uint64(i))
+			switch s.Kind {
+			case Uniform:
+				N := uint64(s.Param)
+				if N < 1 {
+					N = 1
+				}
+				orig = boundedOf(u, N)
+			case Exponential:
+				orig = uint64(expFloor(unitFloat(u), s.Param))
+			case Zipfian:
+				orig = z.sample(unitFloat(u))
+			}
+			a[i] = rec.Record{Key: f.Hash(orig), Value: uint64(i)}
+		}
+	})
+	return a
+}
+
+// unitFloat maps a 64-bit random word to (0, 1].
+func unitFloat(u uint64) float64 {
+	return (float64(u>>11) + 1) / float64(1<<53)
+}
+
+// boundedOf maps a random word to [0, bound) without modulo bias.
+func boundedOf(u, bound uint64) uint64 {
+	hi, _ := bits.Mul64(u, bound)
+	return hi
+}
+
+// expFloor returns ⌊Exp(mean λ)⌋ sampled by inversion: X = -λ ln(u).
+func expFloor(u, lambda float64) float64 {
+	x := -lambda * math.Log(u)
+	if x < 0 {
+		x = 0
+	}
+	return math.Floor(x)
+}
+
+// zipfSampler draws from the Zipfian distribution over [1, M] with
+// exponent 1 by inverting the harmonic CDF. For large M an exact inverse
+// table is infeasible; we use the standard log-approximation
+// H(i) ≈ ln(i) + γ with an exact table for the head of the distribution
+// (which carries most of the mass).
+type zipfSampler struct {
+	m       uint64
+	hm      float64   // H_M
+	headCDF []float64 // exact CDF for i in [1, headSize]
+}
+
+const zipfHead = 1024
+
+const eulerGamma = 0.5772156649015329
+
+func harmonic(m uint64) float64 {
+	if m < zipfHead*4 {
+		s := 0.0
+		for i := uint64(1); i <= m; i++ {
+			s += 1 / float64(i)
+		}
+		return s
+	}
+	mf := float64(m)
+	return math.Log(mf) + eulerGamma + 1/(2*mf) - 1/(12*mf*mf)
+}
+
+func newZipfSampler(m uint64) *zipfSampler {
+	if m < 1 {
+		m = 1
+	}
+	z := &zipfSampler{m: m, hm: harmonic(m)}
+	head := min(uint64(zipfHead), m)
+	z.headCDF = make([]float64, head)
+	s := 0.0
+	for i := uint64(1); i <= head; i++ {
+		s += 1 / (float64(i) * z.hm)
+		z.headCDF[i-1] = s
+	}
+	return z
+}
+
+// sample maps u ∈ (0,1] to a Zipf-distributed value in [1, m].
+func (z *zipfSampler) sample(u float64) uint64 {
+	// Exact inversion over the head.
+	if u <= z.headCDF[len(z.headCDF)-1] {
+		lo, hi := 0, len(z.headCDF)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if u <= z.headCDF[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return uint64(lo) + 1
+	}
+	// Tail: P(X <= i) ≈ (ln i + γ)/H_M  =>  i ≈ exp(u·H_M − γ).
+	i := math.Exp(u*z.hm - eulerGamma)
+	v := uint64(i)
+	if v < 1 {
+		v = 1
+	}
+	if v > z.m {
+		v = z.m
+	}
+	return v
+}
+
+// HeavyFraction returns the fraction of records whose key multiplicity is
+// at least threshold — the paper's "% heavy records" indicator. The paper
+// classifies a key heavy when it appears ≥ δ times in a p-sample, which
+// in expectation corresponds to multiplicity ≥ δ/p = threshold.
+func HeavyFraction(a []rec.Record, threshold int) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	counts := rec.KeyCounts(a)
+	heavy := 0
+	for _, c := range counts {
+		if c >= threshold {
+			heavy += c
+		}
+	}
+	return float64(heavy) / float64(len(a))
+}
+
+// Setting is one named workload configuration from Table 1.
+type Setting struct {
+	Name  string
+	Spec  Spec
+	Param float64
+}
+
+// TableOneSettings returns the paper's 17 Table-1 distributions, with
+// parameters scaled from the paper's n=10^8 to the given n (the paper's
+// parameters are absolute; scaling keeps the duplicate structure — e.g.
+// uniform N=10^8 at n=10^8 means all-distinct, which at n=10^6 requires
+// N=10^6). Parameters that are already "round" fractions of n scale as
+// n-relative; the paper's two representative workloads correspond to
+// Exponential(n/10^3) and Uniform(n).
+func TableOneSettings(n int) []Setting {
+	scale := float64(n) / 1e8
+	mk := func(kind Kind, paper float64) Setting {
+		p := paper * scale
+		if p < 1 {
+			p = 1
+		}
+		return Setting{
+			Name:  kind.String(),
+			Spec:  Spec{Kind: kind, Param: p},
+			Param: paper,
+		}
+	}
+	var out []Setting
+	for _, p := range []float64{100, 1e3, 1e4, 1e5, 3e5, 1e6} {
+		out = append(out, mk(Exponential, p))
+	}
+	for _, p := range []float64{10, 1e5, 3.2e5, 5e5, 1e6, 1e8} {
+		out = append(out, mk(Uniform, p))
+	}
+	for _, p := range []float64{1e4, 1e5, 1e6, 1e7, 1e8} {
+		out = append(out, mk(Zipfian, p))
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package distgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rec"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: Uniform, Param: 1000},
+		{Kind: Exponential, Param: 100},
+		{Kind: Zipfian, Param: 10000},
+	} {
+		a := Generate(4, 5000, spec, 42)
+		b := Generate(1, 5000, spec, 42) // procs must not affect output
+		if len(a) != 5000 {
+			t.Fatalf("%v: length %d", spec, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: nondeterministic at %d (procs dependence?)", spec, i)
+			}
+		}
+		c := Generate(4, 5000, spec, 43)
+		same := 0
+		for i := range a {
+			if a[i].Key == c[i].Key {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Errorf("%v: seed has no effect", spec)
+		}
+	}
+}
+
+func TestGeneratePayloadIsIndex(t *testing.T) {
+	a := Generate(4, 1000, Spec{Kind: Uniform, Param: 10}, 1)
+	for i, r := range a {
+		if r.Value != uint64(i) {
+			t.Fatalf("payload at %d is %d", i, r.Value)
+		}
+	}
+}
+
+func TestUniformDistinctKeyCount(t *testing.T) {
+	// Uniform over [N] with n >> N must produce close to N distinct keys;
+	// with N >> n, nearly n distinct keys.
+	const n = 100000
+	small := Generate(4, n, Spec{Kind: Uniform, Param: 100}, 7)
+	if d := len(rec.KeyCounts(small)); d != 100 {
+		t.Errorf("uniform(100): %d distinct keys, want 100", d)
+	}
+	big := Generate(4, n, Spec{Kind: Uniform, Param: 1e12}, 7)
+	if d := len(rec.KeyCounts(big)); d < n*99/100 {
+		t.Errorf("uniform(1e12): %d distinct keys, want ≈%d", d, n)
+	}
+}
+
+func TestUniformBalance(t *testing.T) {
+	// Each of N=16 values should receive about n/16 records.
+	const n = 160000
+	a := Generate(4, n, Spec{Kind: Uniform, Param: 16}, 3)
+	counts := rec.KeyCounts(a)
+	if len(counts) != 16 {
+		t.Fatalf("distinct = %d", len(counts))
+	}
+	for k, c := range counts {
+		if c < n/16*8/10 || c > n/16*12/10 {
+			t.Errorf("key %d has %d records, want ~%d", k, c, n/16)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	// The empirical mean of the pre-hash values should be near λ. We can't
+	// see pre-hash values from records, so sample the generator pieces.
+	const trials = 200000
+	lambda := 1000.0
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		u := (float64(i) + 0.5) / trials // stratified u over (0,1)
+		sum += expFloor(u, lambda)
+	}
+	mean := sum / trials
+	if math.Abs(mean-lambda) > lambda*0.05 {
+		t.Errorf("exponential empirical mean %.1f, want ~%.1f", mean, lambda)
+	}
+}
+
+func TestExponentialDuplicateStructure(t *testing.T) {
+	// Small λ concentrates keys near 0 → few distinct keys, heavy head.
+	const n = 100000
+	a := Generate(4, n, Spec{Kind: Exponential, Param: 20}, 9)
+	d := len(rec.KeyCounts(a))
+	if d > 400 {
+		t.Errorf("exponential(20): %d distinct keys, expected concentration (< 400)", d)
+	}
+	b := Generate(4, n, Spec{Kind: Exponential, Param: 1e9}, 9)
+	if db := len(rec.KeyCounts(b)); db < n/2 {
+		t.Errorf("exponential(1e9): %d distinct keys, expected mostly distinct", db)
+	}
+}
+
+func TestZipfHeadSkew(t *testing.T) {
+	// Under Zipf, the most frequent key has probability 1/H_M; verify the
+	// top key's share within a factor.
+	const n = 200000
+	const m = 100000
+	a := Generate(4, n, Spec{Kind: Zipfian, Param: m}, 5)
+	counts := rec.KeyCounts(a)
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	wantTop := float64(n) / harmonic(m) // expected count of key 1
+	if float64(maxC) < wantTop*0.8 || float64(maxC) > wantTop*1.2 {
+		t.Errorf("zipf top key count %d, want ~%.0f", maxC, wantTop)
+	}
+}
+
+func TestZipfSamplerRange(t *testing.T) {
+	z := newZipfSampler(1000)
+	for i := 0; i < 10000; i++ {
+		u := (float64(i) + 0.5) / 10000
+		v := z.sample(u)
+		if v < 1 || v > 1000 {
+			t.Fatalf("zipf sample %d out of [1,1000]", v)
+		}
+	}
+	// Monotone: larger u → larger (or equal) value.
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		u := (float64(i) + 0.5) / 1000
+		v := z.sample(u)
+		if v < prev {
+			t.Fatalf("zipf inversion not monotone at u=%f: %d < %d", u, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestZipfSamplerTinyM(t *testing.T) {
+	z := newZipfSampler(1)
+	for _, u := range []float64{0.001, 0.5, 1.0} {
+		if v := z.sample(u); v != 1 {
+			t.Errorf("zipf(M=1) sample(%f) = %d", u, v)
+		}
+	}
+}
+
+func TestHarmonicAccuracy(t *testing.T) {
+	// The asymptotic approximation must agree with the exact sum.
+	for _, m := range []uint64{zipfHead * 4, 100000, 10000000} {
+		exact := 0.0
+		for i := uint64(1); i <= m; i++ {
+			exact += 1 / float64(i)
+		}
+		got := harmonic(m)
+		if math.Abs(got-exact) > 1e-6 {
+			t.Errorf("harmonic(%d) = %.9f, exact %.9f", m, got, exact)
+		}
+	}
+}
+
+func TestHeavyFraction(t *testing.T) {
+	a := []rec.Record{
+		{Key: 1}, {Key: 1}, {Key: 1}, // key 1: 3 copies
+		{Key: 2}, {Key: 3},
+	}
+	if got := HeavyFraction(a, 3); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("HeavyFraction = %f, want 0.6", got)
+	}
+	if got := HeavyFraction(a, 4); got != 0 {
+		t.Errorf("HeavyFraction threshold 4 = %f, want 0", got)
+	}
+	if got := HeavyFraction(nil, 3); got != 0 {
+		t.Errorf("HeavyFraction(nil) = %f", got)
+	}
+}
+
+func TestTableOneSettingsShape(t *testing.T) {
+	s := TableOneSettings(1 << 20)
+	if len(s) != 17 {
+		t.Fatalf("got %d settings, want 17", len(s))
+	}
+	kinds := map[Kind]int{}
+	for _, st := range s {
+		kinds[st.Spec.Kind]++
+		if st.Spec.Param < 1 {
+			t.Errorf("setting %s/%g has param < 1", st.Name, st.Param)
+		}
+	}
+	if kinds[Exponential] != 6 || kinds[Uniform] != 6 || kinds[Zipfian] != 5 {
+		t.Errorf("kind counts = %v, want 6/6/5", kinds)
+	}
+}
+
+func TestTableOneSettingsHeavySpread(t *testing.T) {
+	// The 17 settings must span a wide range of heavy-record fractions —
+	// the paper's Table 1 covers 0% to 100%.
+	const n = 50000
+	const threshold = 256 // δ/p for the default parameters
+	minF, maxF := 1.0, 0.0
+	for _, st := range TableOneSettings(n) {
+		a := Generate(4, n, st.Spec, 13)
+		f := HeavyFraction(a, threshold)
+		if f < minF {
+			minF = f
+		}
+		if f > maxF {
+			maxF = f
+		}
+	}
+	if minF > 0.05 {
+		t.Errorf("minimum heavy fraction %.2f; expected a nearly-all-light setting", minF)
+	}
+	if maxF < 0.95 {
+		t.Errorf("maximum heavy fraction %.2f; expected a nearly-all-heavy setting", maxF)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Uniform.String() != "uniform" || Exponential.String() != "exponential" ||
+		Zipfian.String() != "zipfian" || Kind(99).String() != "unknown" {
+		t.Error("Kind.String mismatch")
+	}
+}
+
+func BenchmarkGenerateUniform1M(b *testing.B) {
+	const n = 1 << 20
+	b.SetBytes(n * 16)
+	for i := 0; i < b.N; i++ {
+		Generate(0, n, Spec{Kind: Uniform, Param: float64(n)}, uint64(i))
+	}
+}
+
+func BenchmarkGenerateZipf1M(b *testing.B) {
+	const n = 1 << 20
+	b.SetBytes(n * 16)
+	for i := 0; i < b.N; i++ {
+		Generate(0, n, Spec{Kind: Zipfian, Param: 1e6}, uint64(i))
+	}
+}
+
+func TestExpFloorClampsAtZero(t *testing.T) {
+	// u = 1 gives -λ·ln(1) = 0; values near 1 must clamp to >= 0.
+	if got := expFloor(1.0, 100); got != 0 {
+		t.Errorf("expFloor(1, 100) = %v", got)
+	}
+	if got := expFloor(0.9999999, 5); got < 0 {
+		t.Errorf("expFloor near 1 negative: %v", got)
+	}
+}
+
+func TestZipfSamplerTailPath(t *testing.T) {
+	// Force the tail approximation path: u beyond the head CDF.
+	z := newZipfSampler(10_000_000)
+	head := z.headCDF[len(z.headCDF)-1]
+	for _, u := range []float64{head + 0.001, 0.999, 1.0} {
+		v := z.sample(u)
+		if v < 1 || v > z.m {
+			t.Fatalf("tail sample(%f) = %d out of range", u, v)
+		}
+		if v <= zipfHead {
+			t.Errorf("tail sample(%f) = %d landed in head", u, v)
+		}
+	}
+}
+
+func TestGenerateUniformParamBelowOne(t *testing.T) {
+	// Param < 1 clamps to a single key.
+	a := Generate(2, 100, Spec{Kind: Uniform, Param: 0.5}, 1)
+	k := a[0].Key
+	for _, r := range a {
+		if r.Key != k {
+			t.Fatal("param<1 should yield one distinct key")
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package hash provides the family of 64-bit hash functions the semisort
+// algorithm relies on.
+//
+// The paper assumes "a uniform random hash function that maps keys to
+// integers in the range [n^k] in constant time" (Section 3). We model that
+// with seeded bit-mixing finalizers over 64-bit inputs (splitmix64 and the
+// MurmurHash3 fmix64 finalizer) plus an FNV-style seeded hash for byte
+// strings. A Family value bundles a seed so that the Las Vegas restart path
+// can rehash with fresh randomness.
+package hash
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Mix64 is the splitmix64 finalizer: a fast, high-quality bijective mixer
+// on 64-bit words. Being a bijection, it never introduces collisions on
+// 64-bit inputs, which makes it ideal for spreading already-distinct keys
+// across the hash range.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fmix64 is the MurmurHash3 64-bit finalizer, also a bijection on uint64.
+func Fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// A Family is a seeded hash family h_seed : uint64 -> uint64. Distinct
+// seeds give (for practical purposes) independent hash functions, which the
+// Las Vegas collision-recovery path uses to rehash after a failure.
+type Family struct {
+	seed uint64
+}
+
+// NewFamily returns the hash function with the given seed. Seed 0 is valid.
+func NewFamily(seed uint64) Family {
+	// Pre-mix the seed so that nearby seeds give unrelated functions.
+	return Family{seed: Mix64(seed ^ 0xd1b54a32d192ed03)}
+}
+
+// Seed returns the (pre-mixed) seed identifying this family member.
+func (f Family) Seed() uint64 { return f.seed }
+
+// Hash maps a 64-bit key to a 64-bit hash value. For a fixed seed it is a
+// bijection on uint64, so distinct keys never collide; the seed only
+// changes *which* bijection is used (relevant for randomized placement).
+func (f Family) Hash(x uint64) uint64 {
+	return Mix64(x ^ f.seed)
+}
+
+// HashBytes maps an arbitrary byte string to a 64-bit hash value using a
+// seeded FNV-1a core strengthened with a splitmix64 finalizer, processing
+// eight bytes at a time.
+func (f Family) HashBytes(b []byte) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x00000100000001b3
+	)
+	h := offset ^ f.seed
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * prime
+		h = (h ^ (h >> 29)) * prime
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail uint64
+		for i, c := range b {
+			tail |= uint64(c) << (8 * i)
+		}
+		tail |= uint64(len(b)) << 56
+		h = (h ^ tail) * prime
+	}
+	return Mix64(h)
+}
+
+// HashString is HashBytes for strings without allocation.
+func (f Family) HashString(s string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x00000100000001b3
+	)
+	h := offset ^ f.seed
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		v := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		h = (h ^ v) * prime
+		h = (h ^ (h >> 29)) * prime
+	}
+	if i < len(s) {
+		var tail uint64
+		for j := 0; i+j < len(s); j++ {
+			tail |= uint64(s[i+j]) << (8 * j)
+		}
+		tail |= uint64(len(s)-i) << 56
+		h = (h ^ tail) * prime
+	}
+	return Mix64(h)
+}
+
+// RNG is a splitmix64 sequence generator used wherever the algorithm needs
+// cheap deterministic per-index randomness (stratified sample selection,
+// initial scatter positions). It is stateless: Rand(i) is the i'th output.
+type RNG struct {
+	seed uint64
+}
+
+// NewRNG returns a deterministic random sequence keyed by seed.
+func NewRNG(seed uint64) RNG {
+	return RNG{seed: Mix64(seed ^ 0x2545f4914f6cdd1d)}
+}
+
+// Rand returns the i'th pseudorandom 64-bit value of the sequence.
+// Independent of call order; safe for concurrent use.
+func (r RNG) Rand(i uint64) uint64 {
+	return Mix64(r.seed + i*0x9e3779b97f4a7c15)
+}
+
+// RandBounded returns a pseudorandom value in [0, bound) using the
+// multiply-shift trick (Lemire). bound must be > 0.
+func (r RNG) RandBounded(i, bound uint64) uint64 {
+	hi, _ := bits.Mul64(r.Rand(i), bound)
+	return hi
+}

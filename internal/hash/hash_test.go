@@ -1,0 +1,213 @@
+package hash
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a dense range plus structured inputs.
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix64 collision: %d and %d -> %x", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestFmix64Bijective(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Fmix64(i << 32) // structured high-bit inputs
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Fmix64 collision: %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}
+
+func TestMix64KnownVectors(t *testing.T) {
+	// Reference values for splitmix64 finalizer (computed from the
+	// canonical algorithm; guards against accidental edits to constants).
+	cases := []struct{ in, out uint64 }{
+		{0, 0xe220a8397b1dcdaf},
+		{1, 0x910a2dec89025cc1},
+	}
+	for _, c := range cases {
+		if got := Mix64(c.in); got != c.out {
+			t.Errorf("Mix64(%d) = %#x, want %#x", c.in, got, c.out)
+		}
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	const trials = 1000
+	r := NewRNG(42)
+	for bit := 0; bit < 64; bit += 7 {
+		totalFlips := 0
+		for i := uint64(0); i < trials; i++ {
+			x := r.Rand(i)
+			flips := bits.OnesCount64(Mix64(x) ^ Mix64(x^(1<<bit)))
+			totalFlips += flips
+		}
+		avg := float64(totalFlips) / trials
+		if avg < 24 || avg > 40 {
+			t.Errorf("bit %d: avalanche average %.1f bits, want ~32", bit, avg)
+		}
+	}
+}
+
+func TestFamilyDeterministic(t *testing.T) {
+	f := NewFamily(7)
+	g := NewFamily(7)
+	for i := uint64(0); i < 100; i++ {
+		if f.Hash(i) != g.Hash(i) {
+			t.Fatalf("same seed, different hash at %d", i)
+		}
+	}
+}
+
+func TestFamilySeedsDiffer(t *testing.T) {
+	f := NewFamily(1)
+	g := NewFamily(2)
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if f.Hash(i) == g.Hash(i) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds agreed on %d of 1000 inputs", same)
+	}
+}
+
+func TestFamilyHashInjectiveOnRange(t *testing.T) {
+	f := NewFamily(123)
+	seen := make(map[uint64]bool, 1<<15)
+	for i := uint64(0); i < 1<<15; i++ {
+		h := f.Hash(i)
+		if seen[h] {
+			t.Fatalf("Family.Hash collision at %d (must be bijective)", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHashBytesDistinguishes(t *testing.T) {
+	f := NewFamily(9)
+	inputs := [][]byte{
+		nil, {}, {0}, {0, 0}, {1}, {0, 1}, {1, 0},
+		[]byte("hello"), []byte("hellp"), []byte("hell"),
+		[]byte("the quick brown fox"), []byte("the quick brown fox "),
+		make([]byte, 8), make([]byte, 9), make([]byte, 16), make([]byte, 17),
+	}
+	seen := make(map[uint64]int)
+	for i, in := range inputs {
+		h := f.HashBytes(in)
+		if prev, dup := seen[h]; dup && string(inputs[prev]) != string(in) {
+			t.Errorf("HashBytes collision between %q and %q", inputs[prev], in)
+		}
+		seen[h] = i
+	}
+}
+
+func TestHashStringMatchesBytes(t *testing.T) {
+	f := NewFamily(5)
+	cases := []string{"", "a", "ab", "abcdefg", "abcdefgh", "abcdefghi",
+		"a longer string that spans multiple words of eight bytes"}
+	for _, s := range cases {
+		if f.HashString(s) != f.HashBytes([]byte(s)) {
+			t.Errorf("HashString(%q) != HashBytes", s)
+		}
+	}
+}
+
+func TestHashStringMatchesBytesQuick(t *testing.T) {
+	f := NewFamily(77)
+	prop := func(b []byte) bool {
+		return f.HashString(string(b)) == f.HashBytes(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashBytesUniformity(t *testing.T) {
+	// Bucket 64k hashes into 256 bins; each bin should be near 256.
+	f := NewFamily(3)
+	const n = 1 << 16
+	var bins [256]int
+	buf := make([]byte, 4)
+	for i := 0; i < n; i++ {
+		buf[0], buf[1], buf[2], buf[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		bins[f.HashBytes(buf)>>56]++
+	}
+	want := float64(n) / 256
+	for b, c := range bins {
+		if float64(c) < want*0.7 || float64(c) > want*1.3 {
+			t.Errorf("bin %d has %d entries, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestRNGDeterministicAndOrderFree(t *testing.T) {
+	r := NewRNG(11)
+	a := r.Rand(5)
+	b := r.Rand(3)
+	if r.Rand(5) != a || r.Rand(3) != b {
+		t.Error("RNG.Rand must be a pure function of its index")
+	}
+	if NewRNG(11).Rand(5) != a {
+		t.Error("RNG must be deterministic in its seed")
+	}
+	if NewRNG(12).Rand(5) == a {
+		t.Error("different seeds should give different sequences")
+	}
+}
+
+func TestRandBoundedInRange(t *testing.T) {
+	r := NewRNG(21)
+	for _, bound := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := uint64(0); i < 1000; i++ {
+			v := r.RandBounded(i, bound)
+			if v >= bound {
+				t.Fatalf("RandBounded(%d, %d) = %d out of range", i, bound, v)
+			}
+		}
+	}
+}
+
+func TestRandBoundedCoversRange(t *testing.T) {
+	r := NewRNG(8)
+	const bound = 16
+	var hit [bound]bool
+	for i := uint64(0); i < 1000; i++ {
+		hit[r.RandBounded(i, bound)] = true
+	}
+	for v, ok := range hit {
+		if !ok {
+			t.Errorf("value %d never produced in 1000 draws over [0,%d)", v, bound)
+		}
+	}
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += Mix64(uint64(i))
+	}
+	_ = acc
+}
+
+func BenchmarkHashBytes64(b *testing.B) {
+	f := NewFamily(1)
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		f.HashBytes(buf)
+	}
+}

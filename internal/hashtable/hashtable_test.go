@@ -1,0 +1,364 @@
+package hashtable
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+)
+
+func TestNewCapacityRounding(t *testing.T) {
+	cases := []struct{ req, minSlots int }{
+		{0, 4}, {1, 4}, {2, 4}, {3, 8}, {100, 256}, {1000, 2048},
+	}
+	for _, c := range cases {
+		tb := New(c.req)
+		if tb.Capacity() < c.minSlots {
+			t.Errorf("New(%d).Capacity() = %d, want >= %d", c.req, tb.Capacity(), c.minSlots)
+		}
+		if tb.Capacity()&(tb.Capacity()-1) != 0 {
+			t.Errorf("capacity %d not a power of two", tb.Capacity())
+		}
+	}
+}
+
+func TestInsertLookupBasic(t *testing.T) {
+	tb := New(16)
+	if !tb.Insert(42, 100) {
+		t.Fatal("first insert should succeed")
+	}
+	if tb.Insert(42, 200) {
+		t.Fatal("duplicate insert should report false")
+	}
+	v, ok := tb.Lookup(42)
+	if !ok || v != 100 {
+		t.Fatalf("Lookup(42) = %d,%v; want 100,true", v, ok)
+	}
+	if _, ok := tb.Lookup(43); ok {
+		t.Fatal("Lookup of absent key returned true")
+	}
+	if tb.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", tb.Size())
+	}
+}
+
+func TestInsertZeroKeyAndValue(t *testing.T) {
+	tb := New(4)
+	if !tb.Insert(0, 0) {
+		t.Fatal("insert of key 0 failed")
+	}
+	v, ok := tb.Lookup(0)
+	if !ok || v != 0 {
+		t.Fatalf("Lookup(0) = %d,%v", v, ok)
+	}
+}
+
+func TestInsertEmptyKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic inserting Empty key")
+		}
+	}()
+	New(4).Insert(Empty, 1)
+}
+
+func TestInsertToFullLoad(t *testing.T) {
+	// New(n) guarantees room for n entries.
+	const n = 1000
+	tb := New(n)
+	for i := uint64(0); i < n; i++ {
+		if !tb.Insert(i, i*2) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if tb.Size() != n {
+		t.Fatalf("Size = %d, want %d", tb.Size(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tb.Lookup(i)
+		if !ok || v != i*2 {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestAdversarialKeysSameSlot(t *testing.T) {
+	// Keys engineered to have long probe chains still work (linear
+	// probing wraps around).
+	tb := New(64)
+	var keys []uint64
+	// Find 20 keys that land in the same initial slot.
+	target := tb.slot(1)
+	for k := uint64(1); len(keys) < 20; k++ {
+		if tb.slot(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	for i, k := range keys {
+		if !tb.Insert(k, uint64(i)) {
+			t.Fatalf("insert clustered key %d failed", k)
+		}
+	}
+	for i, k := range keys {
+		v, ok := tb.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Lookup clustered key %d = %d,%v want %d", k, v, ok, i)
+		}
+	}
+}
+
+func TestConcurrentInsertDistinctKeys(t *testing.T) {
+	const n = 50000
+	const workers = 8
+	tb := New(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if !tb.Insert(uint64(i)+1, uint64(i)) {
+					t.Errorf("concurrent insert of distinct key %d failed", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tb.Size() != n {
+		t.Fatalf("Size = %d, want %d", tb.Size(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tb.Lookup(uint64(i) + 1)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Lookup(%d) = %d,%v", i+1, v, ok)
+		}
+	}
+}
+
+func TestConcurrentInsertSameKeys(t *testing.T) {
+	// All workers insert the same keys; each key must be inserted exactly
+	// once overall.
+	const n = 1000
+	const workers = 8
+	tb := New(n)
+	var inserted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); i <= n; i++ {
+				if tb.Insert(i, i) {
+					inserted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if inserted.Load() != n {
+		t.Errorf("total successful inserts = %d, want %d", inserted.Load(), n)
+	}
+	if tb.Size() != n {
+		t.Errorf("Size = %d, want %d", tb.Size(), n)
+	}
+}
+
+func TestInsertOrGetSlotNaming(t *testing.T) {
+	// The naming problem: distinct keys get distinct slots; repeated keys
+	// get the same slot.
+	tb := New(100)
+	slots := make(map[uint64]int)
+	keys := []uint64{5, 9, 5, 13, 9, 5, 77}
+	for _, k := range keys {
+		s, fresh := tb.InsertOrGetSlot(k)
+		if prev, seen := slots[k]; seen {
+			if fresh {
+				t.Errorf("key %d reported fresh twice", k)
+			}
+			if s != prev {
+				t.Errorf("key %d got slots %d and %d", k, prev, s)
+			}
+		} else {
+			if !fresh {
+				t.Errorf("first insert of key %d not reported fresh", k)
+			}
+			slots[k] = s
+		}
+	}
+	// Distinct keys must have distinct slots.
+	seen := map[int]uint64{}
+	for k, s := range slots {
+		if other, dup := seen[s]; dup {
+			t.Errorf("keys %d and %d share slot %d", k, other, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestSetValueViaSlot(t *testing.T) {
+	tb := New(10)
+	s, _ := tb.InsertOrGetSlot(33)
+	tb.SetValue(s, 777)
+	v, ok := tb.Lookup(33)
+	if !ok || v != 777 {
+		t.Fatalf("Lookup(33) = %d,%v want 777", v, ok)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	tb := New(100)
+	want := map[uint64]uint64{}
+	for i := uint64(1); i <= 50; i++ {
+		tb.Insert(i*7, i)
+		want[i*7] = i
+	}
+	got := map[uint64]uint64{}
+	tb.ForEach(func(k, v uint64) { got[k] = v })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("ForEach got[%d]=%d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tb := New(10)
+	tb.Insert(1, 2)
+	tb.Insert(3, 4)
+	tb.Reset()
+	if tb.Size() != 0 {
+		t.Fatalf("Size after Reset = %d", tb.Size())
+	}
+	if _, ok := tb.Lookup(1); ok {
+		t.Error("key survived Reset")
+	}
+	if !tb.Insert(1, 9) {
+		t.Error("insert after Reset failed")
+	}
+	if v, _ := tb.Lookup(1); v != 9 {
+		t.Error("wrong value after Reset")
+	}
+}
+
+func TestContains(t *testing.T) {
+	tb := New(4)
+	tb.Insert(11, 0)
+	if !tb.Contains(11) || tb.Contains(12) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestTableQuickProperty(t *testing.T) {
+	// Inserting any set of distinct non-Empty keys and looking them all up
+	// must succeed and return the right values.
+	prop := func(raw []uint64) bool {
+		seen := map[uint64]bool{}
+		var keys []uint64
+		for _, k := range raw {
+			k = hash.Mix64(k) // spread
+			if k != Empty && !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		tb := New(len(keys))
+		for i, k := range keys {
+			if !tb.Insert(k, uint64(i)) {
+				return false
+			}
+		}
+		for i, k := range keys {
+			v, ok := tb.Lookup(k)
+			if !ok || v != uint64(i) {
+				return false
+			}
+		}
+		return tb.Size() == len(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tb := New(b.N + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Insert(uint64(i)+1, uint64(i))
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	const n = 1 << 16
+	tb := New(n)
+	for i := uint64(1); i <= n; i++ {
+		tb.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(uint64(i&(n-1)) + 1)
+	}
+}
+
+func TestLookupEmptyKeyAlwaysAbsent(t *testing.T) {
+	tb := New(8)
+	tb.Insert(1, 2)
+	if _, ok := tb.Lookup(Empty); ok {
+		t.Fatal("Lookup(Empty) must report absent")
+	}
+	if tb.Contains(Empty) {
+		t.Fatal("Contains(Empty) must be false")
+	}
+}
+
+func TestInsertOrGetSlotEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Empty key")
+		}
+	}()
+	New(4).InsertOrGetSlot(Empty)
+}
+
+func TestInsertOrGetSlotConcurrent(t *testing.T) {
+	// Concurrent naming of the same key set: every key must get exactly
+	// one slot, claimed by exactly one fresh insertion.
+	const n = 2000
+	const workers = 8
+	tb := New(n)
+	var fresh atomic.Int64
+	slots := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]int, n)
+			for k := 1; k <= n; k++ {
+				s, isNew := tb.InsertOrGetSlot(uint64(k))
+				mine[k-1] = s
+				if isNew {
+					fresh.Add(1)
+				}
+			}
+			slots[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	if fresh.Load() != n {
+		t.Fatalf("fresh insertions = %d, want %d", fresh.Load(), n)
+	}
+	for w := 1; w < workers; w++ {
+		for k := 0; k < n; k++ {
+			if slots[w][k] != slots[0][k] {
+				t.Fatalf("workers disagree on slot for key %d", k+1)
+			}
+		}
+	}
+}

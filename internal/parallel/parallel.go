@@ -1,0 +1,234 @@
+// Package parallel is a small fork–join runtime built on goroutines.
+//
+// It plays the role Cilk Plus plays in the paper's implementation: a
+// parallel for-loop over blocked ranges (cilk_for) and binary fork–join for
+// divide-and-conquer algorithms (cilk_spawn). All entry points take an
+// explicit worker count so benchmarks can sweep thread counts the way the
+// paper sweeps cores; pass Procs(0) (or any value <= 1) for sequential
+// execution.
+//
+// Scheduling model: For splits [0, n) into chunks of at least `grain`
+// elements and hands chunks to `procs` workers through an atomic cursor, so
+// load imbalance between chunks is absorbed dynamically (the moral
+// equivalent of work stealing for a flat loop). Run and Limiter provide
+// nested fork–join with a bounded number of extra goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultProcs returns the worker count used when a caller passes procs <= 0:
+// the current GOMAXPROCS setting.
+func DefaultProcs() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Procs normalizes a requested worker count: values <= 0 become
+// DefaultProcs(), everything else is returned unchanged.
+func Procs(p int) int {
+	if p <= 0 {
+		return DefaultProcs()
+	}
+	return p
+}
+
+// chunksPerWorker controls how many chunks each worker gets on average when
+// the caller does not force a grain. More chunks means better load balance
+// at the cost of more cursor traffic; 8 matches common fork–join folklore.
+const chunksPerWorker = 8
+
+// Grain picks a chunk size for a loop of n iterations on procs workers,
+// aiming for chunksPerWorker chunks per worker but never less than minGrain
+// iterations per chunk.
+func Grain(n, procs, minGrain int) int {
+	procs = Procs(procs)
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	g := n / (procs * chunksPerWorker)
+	if g < minGrain {
+		g = minGrain
+	}
+	return g
+}
+
+// For runs body over the index range [0, n) in parallel. body is called
+// with half-open subranges [lo, hi) that together tile [0, n) exactly once.
+// grain is the minimum subrange size; pass 0 to let the runtime choose.
+//
+// body must be safe to call concurrently from multiple goroutines on
+// disjoint ranges. For blocks until all calls return.
+func For(procs, n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	procs = Procs(procs)
+	if grain <= 0 {
+		grain = Grain(n, procs, 1)
+	}
+	if procs == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	nchunks := (n + grain - 1) / grain
+	workers := procs
+	if workers > nchunks {
+		workers = nchunks
+	}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0, n) in parallel. It is a
+// convenience wrapper over For for bodies that do meaningful per-element
+// work; tight loops should use For directly and iterate inside the block.
+func ForEach(procs, n, grain int, body func(i int)) {
+	For(procs, n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Run executes the given functions, possibly in parallel, and waits for all
+// of them. With procs <= 1 the functions run sequentially in order.
+func Run(procs int, fns ...func()) {
+	if Procs(procs) == 1 || len(fns) <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// A Limiter bounds the number of extra goroutines created by nested
+// fork–join recursion. Each successful token acquisition permits one child
+// to run in its own goroutine; when no token is available the child runs
+// inline, so recursion always makes progress and total goroutines stay
+// O(procs).
+type Limiter struct {
+	tokens chan struct{}
+}
+
+// NewLimiter returns a Limiter permitting roughly procs concurrent branches.
+// procs <= 0 means DefaultProcs(). A nil *Limiter is valid and always runs
+// inline.
+func NewLimiter(procs int) *Limiter {
+	procs = Procs(procs)
+	if procs <= 1 {
+		return nil
+	}
+	// A few extra tokens over procs keeps workers busy while spawned
+	// children are between scheduling and running.
+	return &Limiter{tokens: make(chan struct{}, 2*procs)}
+}
+
+// Parallel reports whether the limiter may run branches concurrently.
+func (l *Limiter) Parallel() bool { return l != nil }
+
+// Join runs a and b, in parallel when a token is available, and returns
+// after both complete.
+func (l *Limiter) Join(a, b func()) {
+	if l == nil {
+		a()
+		b()
+		return
+	}
+	select {
+	case l.tokens <- struct{}{}:
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-l.tokens }()
+			b()
+		}()
+		a()
+		wg.Wait()
+	default:
+		a()
+		b()
+	}
+}
+
+// JoinAll runs every function, using tokens to run as many as possible in
+// parallel, and returns after all complete.
+func (l *Limiter) JoinAll(fns ...func()) {
+	if l == nil || len(fns) <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	inline := fns[:0:0]
+	for _, fn := range fns {
+		select {
+		case l.tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-l.tokens }()
+				fn()
+			}()
+		default:
+			inline = append(inline, fn)
+		}
+	}
+	for _, fn := range inline {
+		fn()
+	}
+	wg.Wait()
+}
+
+// A Joiner abstracts binary fork–join so divide-and-conquer algorithms can
+// run on either scheduler: the token Limiter (goroutine-per-spawn, bounded)
+// or the work-stealing Pool (Cilk-style). A nil *Limiter is a valid
+// sequential Joiner.
+type Joiner interface {
+	// Parallel reports whether Join may run branches concurrently.
+	Parallel() bool
+	// Join runs a and b, possibly in parallel, returning after both.
+	Join(a, b func())
+	// JoinAll runs every function, possibly in parallel, returning after
+	// all complete.
+	JoinAll(fns ...func())
+}
+
+var (
+	_ Joiner = (*Limiter)(nil)
+	_ Joiner = (*Pool)(nil)
+)

@@ -1,0 +1,306 @@
+package parallel
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a work-stealing fork–join scheduler: the Go analogue of the Cilk
+// Plus runtime the paper's implementation runs on ("Cilk's randomized
+// work-stealing scheduler with P available threads gives an expected
+// running time of W/P + O(D)", Section 5).
+//
+// Each worker owns a bounded LIFO deque of spawned tasks; idle workers
+// steal from the FIFO end of random victims' deques (the classic
+// steal-oldest policy, which steals the largest remaining subtrees). Fork
+// pushes the continuation; Join helps execute pending tasks while waiting,
+// so recursion never blocks a worker.
+//
+// The package-level For/Run helpers are sufficient for the semisort's flat
+// phases; Pool exists for the divide-and-conquer substrates and to measure
+// the scheduling-policy difference (see the scheduler benchmarks).
+type Pool struct {
+	workers []*worker
+
+	idle    atomic.Int64 // workers currently hunting for work
+	pending atomic.Int64 // spawned-but-unfinished tasks
+	stop    atomic.Bool
+
+	wake chan struct{}
+	wg   sync.WaitGroup
+
+	// Steals counts successful steals; exported for tests demonstrating
+	// the scheduler actually balances load.
+	Steals atomic.Int64
+}
+
+// pooled task state; the flag is set when the task has been executed.
+type task struct {
+	fn   func()
+	done atomic.Bool
+}
+
+// dequeCap bounds each worker's deque; overflow runs inline, preserving
+// correctness (it only reduces available parallelism momentarily).
+const dequeCap = 256
+
+// worker is one scheduler thread with a fixed-capacity ring deque.
+// bottom is owned by the worker (LIFO end); top is shared with thieves
+// (FIFO end). Synchronization follows the Chase–Lev design simplified for
+// a bounded ring with a mutex on the steal path (contention on steals is
+// rare and the mutex keeps the memory model obviously correct).
+type worker struct {
+	pool *Pool
+	id   int
+
+	mu    sync.Mutex
+	ring  [dequeCap]*task
+	top   int // next steal position (oldest)
+	bot   int // next push position (newest)
+	count int
+}
+
+// NewPool starts a work-stealing pool with the given number of workers
+// (<= 0 means GOMAXPROCS). Close must be called to release the workers.
+func NewPool(procs int) *Pool {
+	procs = Procs(procs)
+	if procs < 1 {
+		procs = 1
+	}
+	p := &Pool{
+		wake: make(chan struct{}, procs),
+	}
+	p.workers = make([]*worker, procs)
+	for i := range p.workers {
+		p.workers[i] = &worker{pool: p, id: i}
+	}
+	p.wg.Add(procs)
+	for _, w := range p.workers {
+		go w.run()
+	}
+	return p
+}
+
+// Close stops the workers after all outstanding work completes.
+func (p *Pool) Close() {
+	p.stop.Store(true)
+	close(p.wake)
+	p.wg.Wait()
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// currentWorker is a goroutine-local-ish association: Go has no goroutine
+// locals, so worker identity travels through explicit receivers in run();
+// external callers (not on a worker) get a nil worker and use the
+// submission path.
+func (w *worker) run() {
+	defer w.pool.wg.Done()
+	for {
+		t := w.pop()
+		if t == nil {
+			t = w.steal()
+		}
+		if t == nil {
+			if w.pool.stop.Load() && w.pool.pending.Load() == 0 {
+				return
+			}
+			w.pool.idle.Add(1)
+			_, ok := <-w.pool.wake
+			w.pool.idle.Add(-1)
+			if !ok {
+				// Drain remaining work before exiting.
+				for {
+					t := w.pop()
+					if t == nil {
+						t = w.steal()
+					}
+					if t == nil {
+						return
+					}
+					w.exec(t)
+				}
+			}
+			continue
+		}
+		w.exec(t)
+	}
+}
+
+func (w *worker) exec(t *task) {
+	t.fn()
+	t.done.Store(true)
+	w.pool.pending.Add(-1)
+}
+
+// push adds a task to the worker's LIFO end; reports false when full.
+func (w *worker) push(t *task) bool {
+	w.mu.Lock()
+	if w.count == dequeCap {
+		w.mu.Unlock()
+		return false
+	}
+	w.ring[w.bot] = t
+	w.bot = (w.bot + 1) % dequeCap
+	w.count++
+	w.mu.Unlock()
+	return true
+}
+
+// pop removes the newest task (LIFO), favoring cache-hot subtrees.
+func (w *worker) pop() *task {
+	w.mu.Lock()
+	if w.count == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	w.bot = (w.bot - 1 + dequeCap) % dequeCap
+	t := w.ring[w.bot]
+	w.ring[w.bot] = nil
+	w.count--
+	w.mu.Unlock()
+	return t
+}
+
+// stealFrom removes the oldest task (FIFO end) of victim v.
+func (v *worker) stealFrom() *task {
+	v.mu.Lock()
+	if v.count == 0 {
+		v.mu.Unlock()
+		return nil
+	}
+	t := v.ring[v.top]
+	v.ring[v.top] = nil
+	v.top = (v.top + 1) % dequeCap
+	v.count--
+	v.mu.Unlock()
+	return t
+}
+
+// steal tries every victim once in random order.
+func (w *worker) steal() *task {
+	n := len(w.pool.workers)
+	start := rand.IntN(n)
+	for i := 0; i < n; i++ {
+		v := w.pool.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if t := v.stealFrom(); t != nil {
+			w.pool.Steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+// submit enqueues t on a random worker (external submission path).
+func (p *Pool) submit(t *task) {
+	p.pending.Add(1)
+	w := p.workers[rand.IntN(len(p.workers))]
+	if !w.push(t) {
+		// Deque full: run inline on the submitter.
+		t.fn()
+		t.done.Store(true)
+		p.pending.Add(-1)
+		return
+	}
+	p.signal()
+}
+
+func (p *Pool) signal() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Go runs fn on the pool and returns a wait function. The wait function
+// helps execute other pool tasks while fn is pending, so calling it from
+// inside pool tasks cannot deadlock the pool.
+func (p *Pool) Go(fn func()) (wait func()) {
+	t := &task{fn: fn}
+	p.submit(t)
+	return func() { p.waitFor(t) }
+}
+
+// waitFor blocks until t has executed, helping with other tasks meanwhile.
+func (p *Pool) waitFor(t *task) {
+	for !t.done.Load() {
+		// Help: run any stealable task to keep the machine busy and to
+		// guarantee progress when every worker waits on a child.
+		if h := p.helpOnce(); !h {
+			runtime.Gosched()
+		}
+	}
+}
+
+// helpOnce executes one pending task from any deque; reports whether it
+// found one.
+func (p *Pool) helpOnce() bool {
+	n := len(p.workers)
+	start := rand.IntN(n)
+	for i := 0; i < n; i++ {
+		v := p.workers[(start+i)%n]
+		if t := v.stealFrom(); t != nil {
+			t.fn()
+			t.done.Store(true)
+			p.pending.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// Join runs a and b with fork–join semantics: b is spawned to the pool,
+// a runs inline, then the caller waits (helping) until b completes.
+func (p *Pool) Join(a, b func()) {
+	wait := p.Go(b)
+	a()
+	wait()
+}
+
+// For runs body over [0, n) in parallel on the pool, splitting the range
+// by recursive halving down to grain (Cilk-style divide-and-conquer loop,
+// in contrast to the chunk-cursor loop of the package-level For).
+func (p *Pool) For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = Grain(n, len(p.workers), 1)
+	}
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		for hi-lo > grain {
+			mid, end := lo+(hi-lo)/2, hi // copy: hi is mutated below
+			wait := p.Go(func() { split(mid, end) })
+			hi = mid
+			defer wait()
+		}
+		body(lo, hi)
+	}
+	split(0, n)
+}
+
+// Parallel reports whether the pool can run branches concurrently,
+// satisfying the Joiner interface.
+func (p *Pool) Parallel() bool { return len(p.workers) > 1 }
+
+// JoinAll spawns every function to the pool and waits (helping) for all.
+func (p *Pool) JoinAll(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	waits := make([]func(), 0, len(fns)-1)
+	for _, fn := range fns[1:] {
+		waits = append(waits, p.Go(fn))
+	}
+	fns[0]()
+	for _, w := range waits {
+		w()
+	}
+}

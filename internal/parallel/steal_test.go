@@ -1,0 +1,246 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolGoAndWait(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var ran atomic.Bool
+	wait := p.Go(func() { ran.Store(true) })
+	wait()
+	if !ran.Load() {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestPoolJoinRunsBoth(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var a, b atomic.Bool
+	p.Join(func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatal("Join missed a branch")
+	}
+}
+
+func TestPoolDeepRecursion(t *testing.T) {
+	// Full binary fork-join tree far deeper than the deque capacity; must
+	// neither deadlock nor lose leaves.
+	p := NewPool(4)
+	defer p.Close()
+	var leaves atomic.Int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			leaves.Add(1)
+			return
+		}
+		p.Join(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	rec(14)
+	if got := leaves.Load(); got != 1<<14 {
+		t.Fatalf("leaves = %d, want %d", got, 1<<14)
+	}
+}
+
+func TestPoolForCoversRange(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 7, 100, 10000} {
+		for _, grain := range []int{0, 1, 64} {
+			touched := make([]int32, n)
+			p.For(n, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&touched[i], 1)
+				}
+			})
+			for i, c := range touched {
+				if c != 1 {
+					t.Fatalf("n=%d grain=%d: index %d touched %d times", n, grain, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolForSum(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	const n = 200000
+	var sum atomic.Int64
+	p.For(n, 0, func(lo, hi int) {
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		sum.Add(local)
+	})
+	if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestPoolManyConcurrentSubmitters(t *testing.T) {
+	// External goroutines hammer the pool concurrently.
+	p := NewPool(4)
+	defer p.Close()
+	const submitters = 8
+	const tasksEach = 500
+	var count atomic.Int64
+	done := make(chan struct{}, submitters)
+	for s := 0; s < submitters; s++ {
+		go func() {
+			waits := make([]func(), 0, tasksEach)
+			for i := 0; i < tasksEach; i++ {
+				waits = append(waits, p.Go(func() { count.Add(1) }))
+			}
+			for _, w := range waits {
+				w()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for s := 0; s < submitters; s++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("timeout: pool stalled")
+		}
+	}
+	if count.Load() != submitters*tasksEach {
+		t.Fatalf("ran %d of %d tasks", count.Load(), submitters*tasksEach)
+	}
+}
+
+func TestPoolStealingHappens(t *testing.T) {
+	// With several workers and an imbalanced spawn pattern, steals should
+	// occur (unless the box is so slow that one worker drains everything —
+	// tolerate zero only for single-worker pools).
+	p := NewPool(4)
+	defer p.Close()
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			// Small spin so tasks overlap.
+			x := 0
+			for i := 0; i < 1000; i++ {
+				x += i
+			}
+			_ = x
+			return
+		}
+		p.Join(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	rec(12)
+	t.Logf("steals observed: %d", p.Steals.Load())
+}
+
+func TestPoolSingleWorker(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var leaves atomic.Int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			leaves.Add(1)
+			return
+		}
+		p.Join(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	rec(10)
+	if leaves.Load() != 1<<10 {
+		t.Fatalf("leaves = %d", leaves.Load())
+	}
+}
+
+func TestPoolDequeOverflowInline(t *testing.T) {
+	// Spawning far more tasks than dequeCap from one goroutine must not
+	// lose tasks (overflow executes inline).
+	p := NewPool(2)
+	defer p.Close()
+	const n = dequeCap * 8
+	var count atomic.Int64
+	waits := make([]func(), 0, n)
+	for i := 0; i < n; i++ {
+		waits = append(waits, p.Go(func() { count.Add(1) }))
+	}
+	for _, w := range waits {
+		w()
+	}
+	if count.Load() != n {
+		t.Fatalf("ran %d of %d", count.Load(), n)
+	}
+}
+
+func TestPoolCloseIdempotentWorkDone(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int64
+	waits := make([]func(), 0, 100)
+	for i := 0; i < 100; i++ {
+		waits = append(waits, p.Go(func() { ran.Add(1) }))
+	}
+	for _, w := range waits {
+		w()
+	}
+	p.Close()
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 before Close", ran.Load())
+	}
+}
+
+func TestPoolWorkersCount(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	if p.Workers() != 3 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+}
+
+func BenchmarkPoolForkJoinTree(b *testing.B) {
+	p := NewPool(0)
+	defer p.Close()
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		p.Join(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec(10)
+	}
+}
+
+func BenchmarkLimiterForkJoinTree(b *testing.B) {
+	l := NewLimiter(0)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		l.Join(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec(10)
+	}
+}
+
+func BenchmarkPoolParallelFor(b *testing.B) {
+	p := NewPool(0)
+	defer p.Close()
+	data := make([]int64, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(len(data), 0, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j]++
+			}
+		})
+	}
+}

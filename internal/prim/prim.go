@@ -1,0 +1,321 @@
+// Package prim implements the parallel primitives the semisort algorithm is
+// built from: prefix sums (scan), packing/filtering, histograms and
+// reductions. These correspond to the PBBS "sequence" primitives used by
+// the paper's implementation. All algorithms are linear work and
+// logarithmic depth (two blocked passes plus a small sequential scan over
+// per-block partials).
+package prim
+
+import (
+	"repro/internal/parallel"
+)
+
+// Integer covers the index/count types the semisort pipeline scans over.
+type Integer interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64
+}
+
+// seqThreshold is the input size below which the primitives run
+// sequentially; blocked two-pass algorithms only pay off past this point.
+const seqThreshold = 1 << 13
+
+// ExclusiveScan replaces a with its exclusive prefix sum in place and
+// returns the total sum: out[i] = sum(in[0:i]).
+func ExclusiveScan[T Integer](procs int, a []T) T {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	procs = parallel.Procs(procs)
+	if procs == 1 || n < seqThreshold {
+		var run T
+		for i := range a {
+			v := a[i]
+			a[i] = run
+			run += v
+		}
+		return run
+	}
+
+	grain := parallel.Grain(n, procs, 1024)
+	nblocks := (n + grain - 1) / grain
+	partials := make([]T, nblocks)
+
+	// Pass 1: per-block sums.
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := b*grain, min((b+1)*grain, n)
+			var sum T
+			for i := s; i < e; i++ {
+				sum += a[i]
+			}
+			partials[b] = sum
+		}
+	})
+
+	// Sequential scan over the (small) partials array.
+	var total T
+	for b := range partials {
+		v := partials[b]
+		partials[b] = total
+		total += v
+	}
+
+	// Pass 2: per-block exclusive scans seeded with the block offset.
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := b*grain, min((b+1)*grain, n)
+			run := partials[b]
+			for i := s; i < e; i++ {
+				v := a[i]
+				a[i] = run
+				run += v
+			}
+		}
+	})
+	return total
+}
+
+// InclusiveScan replaces a with its inclusive prefix sum in place and
+// returns the total: out[i] = sum(in[0:i+1]).
+func InclusiveScan[T Integer](procs int, a []T) T {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	procs = parallel.Procs(procs)
+	if procs == 1 || n < seqThreshold {
+		var run T
+		for i := range a {
+			run += a[i]
+			a[i] = run
+		}
+		return run
+	}
+
+	grain := parallel.Grain(n, procs, 1024)
+	nblocks := (n + grain - 1) / grain
+	partials := make([]T, nblocks)
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := b*grain, min((b+1)*grain, n)
+			var sum T
+			for i := s; i < e; i++ {
+				sum += a[i]
+			}
+			partials[b] = sum
+		}
+	})
+	var total T
+	for b := range partials {
+		v := partials[b]
+		partials[b] = total
+		total += v
+	}
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := b*grain, min((b+1)*grain, n)
+			run := partials[b]
+			for i := s; i < e; i++ {
+				run += a[i]
+				a[i] = run
+			}
+		}
+	})
+	return total
+}
+
+// ReduceSum returns the sum of a.
+func ReduceSum[T Integer](procs int, a []T) T {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	procs = parallel.Procs(procs)
+	if procs == 1 || n < seqThreshold {
+		var s T
+		for _, v := range a {
+			s += v
+		}
+		return s
+	}
+	grain := parallel.Grain(n, procs, 1024)
+	nblocks := (n + grain - 1) / grain
+	partials := make([]T, nblocks)
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := b*grain, min((b+1)*grain, n)
+			var sum T
+			for i := s; i < e; i++ {
+				sum += a[i]
+			}
+			partials[b] = sum
+		}
+	})
+	var total T
+	for _, v := range partials {
+		total += v
+	}
+	return total
+}
+
+// ReduceMax returns the maximum of a, or zero for an empty slice.
+func ReduceMax[T Integer](procs int, a []T) T {
+	n := len(a)
+	if n == 0 {
+		var zero T
+		return zero
+	}
+	procs = parallel.Procs(procs)
+	if procs == 1 || n < seqThreshold {
+		m := a[0]
+		for _, v := range a[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	grain := parallel.Grain(n, procs, 1024)
+	nblocks := (n + grain - 1) / grain
+	partials := make([]T, nblocks)
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := b*grain, min((b+1)*grain, n)
+			m := a[s]
+			for i := s + 1; i < e; i++ {
+				if a[i] > m {
+					m = a[i]
+				}
+			}
+			partials[b] = m
+		}
+	})
+	m := partials[0]
+	for _, v := range partials[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Pack copies the elements of src whose flag is true into a new, dense
+// slice, preserving order. This is the "packing problem" from Section 2 of
+// the paper: a prefix sum over the flags followed by a scattered write.
+func Pack[T any](procs int, src []T, flags []bool) []T {
+	n := len(src)
+	if n != len(flags) {
+		panic("prim.Pack: src and flags length mismatch")
+	}
+	counts := make([]int32, n)
+	parallel.For(procs, n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if flags[i] {
+				counts[i] = 1
+			}
+		}
+	})
+	total := ExclusiveScan(procs, counts)
+	out := make([]T, total)
+	parallel.For(procs, n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if flags[i] {
+				out[counts[i]] = src[i]
+			}
+		}
+	})
+	return out
+}
+
+// PackIndex returns the indices i in [0, n) for which pred(i) is true, in
+// increasing order. It is the flag-free form of Pack used to gather key
+// offsets from the sorted sample.
+func PackIndex(procs, n int, pred func(i int) bool) []int32 {
+	counts := make([]int32, n)
+	parallel.For(procs, n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				counts[i] = 1
+			}
+		}
+	})
+	total := ExclusiveScan(procs, counts)
+	out := make([]int32, total)
+	parallel.For(procs, n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				out[counts[i]] = int32(i)
+			}
+		}
+	})
+	return out
+}
+
+// Filter returns the elements of src satisfying pred, preserving order.
+func Filter[T any](procs int, src []T, pred func(T) bool) []T {
+	flags := make([]bool, len(src))
+	parallel.For(procs, len(src), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			flags[i] = pred(src[i])
+		}
+	})
+	return Pack(procs, src, flags)
+}
+
+// Histogram counts occurrences of bucket indices produced by bucketOf over
+// [0, n) into `buckets` bins, in parallel using per-block local histograms.
+// bucketOf must return values in [0, buckets).
+func Histogram(procs, n, buckets int, bucketOf func(i int) int) []int32 {
+	procs = parallel.Procs(procs)
+	if procs == 1 || n < seqThreshold {
+		h := make([]int32, buckets)
+		for i := 0; i < n; i++ {
+			h[bucketOf(i)]++
+		}
+		return h
+	}
+	grain := parallel.Grain(n, procs, 2048)
+	nblocks := (n + grain - 1) / grain
+	local := make([][]int32, nblocks)
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			h := make([]int32, buckets)
+			s, e := b*grain, min((b+1)*grain, n)
+			for i := s; i < e; i++ {
+				h[bucketOf(i)]++
+			}
+			local[b] = h
+		}
+	})
+	out := make([]int32, buckets)
+	parallel.For(procs, buckets, 512, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s int32
+			for b := 0; b < nblocks; b++ {
+				s += local[b][j]
+			}
+			out[j] = s
+		}
+	})
+	return out
+}
+
+// Fill sets every element of a to v in parallel.
+func Fill[T any](procs int, a []T, v T) {
+	parallel.For(procs, len(a), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = v
+		}
+	})
+}
+
+// Copy copies src into dst (which must be at least as long) in parallel.
+func Copy[T any](procs int, dst, src []T) {
+	if len(dst) < len(src) {
+		panic("prim.Copy: dst shorter than src")
+	}
+	parallel.For(procs, len(src), 8192, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}

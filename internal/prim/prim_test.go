@@ -1,0 +1,336 @@
+package prim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSlice(n int, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(r.Intn(100))
+	}
+	return a
+}
+
+func seqExclusive(a []int64) ([]int64, int64) {
+	out := make([]int64, len(a))
+	var run int64
+	for i, v := range a {
+		out[i] = run
+		run += v
+	}
+	return out, run
+}
+
+func TestExclusiveScanMatchesSequential(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 2, 3, 100, seqThreshold - 1, seqThreshold, seqThreshold + 1, 100000} {
+			a := randSlice(n, int64(n)*31+int64(procs))
+			want, wantTotal := seqExclusive(a)
+			got := append([]int64(nil), a...)
+			total := ExclusiveScan(procs, got)
+			if total != wantTotal {
+				t.Fatalf("procs=%d n=%d: total=%d want %d", procs, n, total, wantTotal)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("procs=%d n=%d: scan[%d]=%d want %d", procs, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInclusiveScanMatchesSequential(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		for _, n := range []int{0, 1, 5, 1000, seqThreshold + 17, 60000} {
+			a := randSlice(n, int64(n)+7)
+			want := append([]int64(nil), a...)
+			var run int64
+			for i := range want {
+				run += want[i]
+				want[i] = run
+			}
+			got := append([]int64(nil), a...)
+			total := InclusiveScan(procs, got)
+			if total != run {
+				t.Fatalf("procs=%d n=%d: total=%d want %d", procs, n, total, run)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("procs=%d n=%d: scan[%d]=%d want %d", procs, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestScanInt32Type(t *testing.T) {
+	a := []int32{3, 1, 4, 1, 5}
+	total := ExclusiveScan(4, a)
+	if total != 14 {
+		t.Errorf("total = %d, want 14", total)
+	}
+	want := []int32{0, 3, 4, 8, 9}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("a[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestScanPropertyQuick(t *testing.T) {
+	f := func(vals []uint32, procsRaw uint8) bool {
+		// Keep values small to avoid overflow noise in the property.
+		a := make([]uint64, len(vals))
+		for i, v := range vals {
+			a[i] = uint64(v % 1000)
+		}
+		procs := int(procsRaw)%8 + 1
+		orig := append([]uint64(nil), a...)
+		total := ExclusiveScan(procs, a)
+		// Law 1: a[0] == 0 when non-empty.
+		if len(a) > 0 && a[0] != 0 {
+			return false
+		}
+		// Law 2: a[i+1]-a[i] == orig[i].
+		for i := 0; i+1 < len(a); i++ {
+			if a[i+1]-a[i] != orig[i] {
+				return false
+			}
+		}
+		// Law 3: total == last scan + last value.
+		if len(a) > 0 && total != a[len(a)-1]+orig[len(a)-1] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		for _, n := range []int{0, 1, 100, seqThreshold * 3} {
+			a := randSlice(n, 99)
+			var want int64
+			for _, v := range a {
+				want += v
+			}
+			if got := ReduceSum(procs, a); got != want {
+				t.Errorf("procs=%d n=%d: sum=%d want %d", procs, n, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	if got := ReduceMax(4, []int64{}); got != 0 {
+		t.Errorf("max of empty = %d, want 0", got)
+	}
+	for _, procs := range []int{1, 4} {
+		for _, n := range []int{1, 2, 1000, seqThreshold * 2} {
+			a := randSlice(n, int64(n))
+			a[n/2] = 1 << 40 // plant a known max
+			if got := ReduceMax(procs, a); got != 1<<40 {
+				t.Errorf("procs=%d n=%d: max=%d", procs, n, got)
+			}
+		}
+	}
+}
+
+func TestPack(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		src := []int{10, 20, 30, 40, 50}
+		flags := []bool{true, false, true, false, true}
+		got := Pack(procs, src, flags)
+		want := []int{10, 30, 50}
+		if len(got) != len(want) {
+			t.Fatalf("procs=%d: len=%d want %d", procs, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("procs=%d: got[%d]=%d want %d", procs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPackEdges(t *testing.T) {
+	if got := Pack(4, []int{}, []bool{}); len(got) != 0 {
+		t.Error("pack of empty must be empty")
+	}
+	if got := Pack(4, []int{1, 2}, []bool{false, false}); len(got) != 0 {
+		t.Error("pack with all-false flags must be empty")
+	}
+	got := Pack(4, []int{1, 2}, []bool{true, true})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("pack all-true = %v", got)
+	}
+}
+
+func TestPackMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Pack(1, []int{1}, []bool{true, false})
+}
+
+func TestPackLargeStable(t *testing.T) {
+	const n = 100000
+	src := make([]int, n)
+	flags := make([]bool, n)
+	for i := range src {
+		src[i] = i
+		flags[i] = i%3 == 0
+	}
+	got := Pack(8, src, flags)
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("pack not order preserving at %d: %d then %d", i, got[i-1], got[i])
+		}
+	}
+	if len(got) != (n+2)/3 {
+		t.Errorf("len = %d, want %d", len(got), (n+2)/3)
+	}
+}
+
+func TestPackIndex(t *testing.T) {
+	got := PackIndex(4, 10, func(i int) bool { return i%2 == 1 })
+	want := []int32{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	src := []int{5, 3, 8, 1, 9, 2}
+	got := Filter(4, src, func(v int) bool { return v >= 5 })
+	want := []int{5, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPackPropertyQuick(t *testing.T) {
+	f := func(src []int16, mask []bool) bool {
+		n := min(len(src), len(mask))
+		s, fl := src[:n], mask[:n]
+		got := Pack(4, s, fl)
+		// Same as a simple sequential filter.
+		var want []int16
+		for i := 0; i < n; i++ {
+			if fl[i] {
+				want = append(want, s[i])
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	data := []int{0, 1, 2, 1, 0, 2, 2, 2}
+	for _, procs := range []int{1, 4} {
+		h := Histogram(procs, len(data), 3, func(i int) int { return data[i] })
+		want := []int32{2, 2, 4}
+		for i := range want {
+			if h[i] != want[i] {
+				t.Errorf("procs=%d h[%d]=%d want %d", procs, i, h[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHistogramLarge(t *testing.T) {
+	const n = 200000
+	const buckets = 64
+	h := Histogram(8, n, buckets, func(i int) int { return i % buckets })
+	for j := 0; j < buckets; j++ {
+		want := int32(n / buckets)
+		if h[j] != want {
+			t.Fatalf("h[%d]=%d want %d", j, h[j], want)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := Histogram(4, 0, 5, func(i int) int { return 0 })
+	for j, v := range h {
+		if v != 0 {
+			t.Errorf("h[%d]=%d want 0", j, v)
+		}
+	}
+}
+
+func TestFillAndCopy(t *testing.T) {
+	a := make([]int, 50000)
+	Fill(4, a, 7)
+	for i, v := range a {
+		if v != 7 {
+			t.Fatalf("a[%d]=%d", i, v)
+		}
+	}
+	b := make([]int, len(a))
+	Copy(4, b, a)
+	for i, v := range b {
+		if v != 7 {
+			t.Fatalf("b[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestCopyShortDstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for short dst")
+		}
+	}()
+	Copy(1, make([]int, 1), make([]int, 2))
+}
+
+func BenchmarkExclusiveScan1M(b *testing.B) {
+	a := make([]int64, 1<<20)
+	for i := range a {
+		a[i] = int64(i & 7)
+	}
+	b.SetBytes(int64(len(a) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExclusiveScan(0, a)
+	}
+}
+
+func BenchmarkHistogram1M(b *testing.B) {
+	const n = 1 << 20
+	b.SetBytes(n * 8)
+	for i := 0; i < b.N; i++ {
+		Histogram(0, n, 256, func(i int) int { return i & 255 })
+	}
+}

@@ -1,0 +1,127 @@
+package rec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRunsBasic(t *testing.T) {
+	a := []Record{{Key: 1}, {Key: 1}, {Key: 2}, {Key: 3}, {Key: 3}, {Key: 3}}
+	var got [][2]int
+	Runs(a, func(s, e int) { got = append(got, [2]int{s, e}) })
+	want := [][2]int{{0, 2}, {2, 3}, {3, 6}}
+	if len(got) != len(want) {
+		t.Fatalf("runs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunsEmptyAndSingle(t *testing.T) {
+	calls := 0
+	Runs(nil, func(s, e int) { calls++ })
+	if calls != 0 {
+		t.Error("Runs on empty slice called fn")
+	}
+	Runs([]Record{{Key: 9}}, func(s, e int) {
+		calls++
+		if s != 0 || e != 1 {
+			t.Errorf("run [%d,%d)", s, e)
+		}
+	})
+	if calls != 1 {
+		t.Error("single-record run not emitted")
+	}
+}
+
+func TestRunsCoverQuick(t *testing.T) {
+	prop := func(keys []uint8) bool {
+		a := make([]Record, len(keys))
+		for i, k := range keys {
+			a[i] = Record{Key: uint64(k)}
+		}
+		covered := 0
+		ok := true
+		Runs(a, func(s, e int) {
+			if s != covered || e <= s {
+				ok = false
+			}
+			for i := s + 1; i < e; i++ {
+				if a[i].Key != a[s].Key {
+					ok = false
+				}
+			}
+			covered = e
+		})
+		return ok && covered == len(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSemisorted(t *testing.T) {
+	cases := []struct {
+		name string
+		keys []uint64
+		want bool
+	}{
+		{"empty", nil, true},
+		{"single", []uint64{5}, true},
+		{"grouped", []uint64{2, 2, 1, 3, 3}, true},
+		{"sorted", []uint64{1, 2, 2, 3}, true},
+		{"split group", []uint64{1, 2, 1}, false},
+		{"split at ends", []uint64{7, 3, 3, 5, 7}, false},
+		{"all equal", []uint64{4, 4, 4}, true},
+	}
+	for _, c := range cases {
+		a := make([]Record, len(c.keys))
+		for i, k := range c.keys {
+			a[i] = Record{Key: k}
+		}
+		if got := IsSemisorted(a); got != c.want {
+			t.Errorf("%s: IsSemisorted = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]Record{{Key: 1}, {Key: 1}, {Key: 2}}) {
+		t.Error("sorted reported unsorted")
+	}
+	if IsSorted([]Record{{Key: 2}, {Key: 1}}) {
+		t.Error("unsorted reported sorted")
+	}
+	if !IsSorted(nil) {
+		t.Error("empty must be sorted")
+	}
+}
+
+func TestKeyCounts(t *testing.T) {
+	a := []Record{{Key: 1}, {Key: 2}, {Key: 1}, {Key: 1}}
+	m := KeyCounts(a)
+	if len(m) != 2 || m[1] != 3 || m[2] != 1 {
+		t.Errorf("KeyCounts = %v", m)
+	}
+}
+
+func TestSamePermutation(t *testing.T) {
+	a := []Record{{Key: 1, Value: 1}, {Key: 2, Value: 2}, {Key: 1, Value: 3}}
+	b := []Record{{Key: 1, Value: 3}, {Key: 1, Value: 1}, {Key: 2, Value: 2}}
+	if !SamePermutation(a, b) {
+		t.Error("permutation not recognized")
+	}
+	c := []Record{{Key: 1, Value: 1}, {Key: 1, Value: 1}, {Key: 2, Value: 2}}
+	if SamePermutation(a, c) {
+		t.Error("different multisets reported equal")
+	}
+	if SamePermutation(a, a[:2]) {
+		t.Error("different lengths reported equal")
+	}
+	if !SamePermutation(nil, []Record{}) {
+		t.Error("empty slices must be permutations")
+	}
+}

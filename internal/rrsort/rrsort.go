@@ -1,0 +1,291 @@
+// Package rrsort implements the Rajasekaran–Reif randomized parallel
+// integer sorting algorithm (SICOMP 1989) that Section 2 of the semisort
+// paper reviews and Section 3.2 contrasts against.
+//
+// The algorithm has two components:
+//
+//   - an unstable randomized sort for integers in a small range
+//     [m], m ≤ n/log²n: estimate each key's multiplicity from a sorted
+//     sample, allocate a padded array per key, place records into random
+//     slots of their key's array, and pack (UnstableSort);
+//   - a stable counting sort for integers in [m] (reused from
+//     internal/sortint).
+//
+// Integers in the range [n·log^k n] are sorted by one round of the
+// unstable sort on the low-order bits followed by rounds of the stable
+// counting sort on the high-order bits (IntegerSort).
+//
+// Semisorting via this route (SemisortViaRR) first reduces hashed keys to
+// a dense range with the naming problem (a hash table) and then integer
+// sorts the labels — exactly the alternative the paper argues is slower in
+// practice because the naming pass alone costs as much as the whole
+// sequential semisort. The harness measures that claim.
+package rrsort
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/hash"
+	"repro/internal/hashtable"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+	"repro/internal/rec"
+	"repro/internal/sortint"
+)
+
+// UnstableSort sorts a in place by Key, which must lie in [0, m). It is
+// the randomized component of Rajasekaran–Reif: sample, estimate counts,
+// allocate padded per-key arrays, place randomly, pack. Not stable. A
+// placement overflow (probability O(n^-c)) retries with doubled padding.
+func UnstableSort(procs int, a []rec.Record, m int, seed uint64) error {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if err = unstableOnce(procs, a, m, seed+uint64(attempt)*0x9e37, float64(int(1)<<attempt)); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func unstableOnce(procs int, a []rec.Record, m int, seed uint64, pad float64) error {
+	n := len(a)
+	if n <= 1 {
+		return nil
+	}
+	procs = parallel.Procs(procs)
+	logn := math.Log(math.Max(float64(n), 2))
+
+	// Sample with probability p = 1/logn (Θ(n/log n) samples) by strided
+	// selection, then count each key in the sample with a histogram (the
+	// range m is small by precondition, so a histogram replaces the
+	// comparison sort of the original formulation).
+	rate := int(logn)
+	if rate < 2 {
+		rate = 2
+	}
+	rng := hash.NewRNG(seed)
+	ns := n / rate
+	counts := make([]int32, m)
+	if ns > 0 {
+		sampleIdx := make([]int32, ns)
+		parallel.For(procs, ns, 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sampleIdx[i] = int32(i*rate) + int32(rng.RandBounded(uint64(i), uint64(rate)))
+			}
+		})
+		for _, j := range sampleIdx { // m is small; sequential histogram
+			counts[a[j].Key]++
+		}
+	}
+
+	// u(i) = c'·max(log²n, c(i)·log n) — the paper's high-probability
+	// upper bound on each key's multiplicity, padded by α.
+	const cPrime = 1.3
+	alpha := 1.3 * pad
+	log2n := logn * logn
+	offsets := make([]int64, m+1)
+	var total int64
+	for k := 0; k < m; k++ {
+		// u(i) = c'·max(log²n, c(i)·(1/p)) with p = 1/rate ≈ 1/log n.
+		u := cPrime * math.Max(log2n, float64(counts[k])*float64(rate))
+		size := int64(math.Ceil(alpha*u)) + 4
+		offsets[k] = total
+		total += size
+	}
+	offsets[m] = total
+
+	slots := make([]rec.Record, total)
+	occ := make([]uint32, total)
+
+	// Placement: each record picks random slots in its key's array until a
+	// CAS claims one (the practical form of the block-synchronous
+	// placement rounds; expected O(1) attempts per record).
+	var overflow atomic.Bool
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		if overflow.Load() {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			k := a[i].Key
+			base := offsets[k]
+			size := uint64(offsets[k+1] - base)
+			placed := false
+			pos := rng.RandBounded(uint64(i)^0xA5A5, size)
+			for try := uint64(0); try < size; try++ {
+				idx := base + int64(pos)
+				if atomic.CompareAndSwapUint32(&occ[idx], 0, 1) {
+					slots[idx] = a[i]
+					placed = true
+					break
+				}
+				pos++
+				if pos == size {
+					pos = 0
+				}
+			}
+			if !placed {
+				overflow.Store(true)
+				return
+			}
+		}
+	})
+	if overflow.Load() {
+		return fmt.Errorf("rrsort: placement overflow (n=%d, m=%d)", n, m)
+	}
+
+	// Pack the occupied slots back into a, preserving slot order (so the
+	// result is sorted by key, since arrays are laid out in key order).
+	flags := make([]int32, total)
+	parallel.For(procs, int(total), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			flags[i] = int32(occ[i])
+		}
+	})
+	packed := prim.ExclusiveScan(procs, flags)
+	if int(packed) != n {
+		return fmt.Errorf("rrsort: packed %d of %d records", packed, n)
+	}
+	parallel.For(procs, int(total), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if occ[i] != 0 {
+				a[flags[i]] = slots[i]
+			}
+		}
+	})
+	return nil
+}
+
+// IntegerSort sorts a in place by Key, which must lie in [0, keyRange).
+// Following Rajasekaran–Reif, the low-order bits (range up to
+// ~n/log²n) are sorted with one round of the unstable randomized sort and
+// the remaining high-order bits with rounds of the stable counting sort
+// (each round handling ~log n values), preserving the low-order order.
+func IntegerSort(procs int, a []rec.Record, keyRange uint64, seed uint64) error {
+	n := len(a)
+	if n <= 1 {
+		return nil
+	}
+	if keyRange == 0 {
+		return fmt.Errorf("rrsort: keyRange must be positive")
+	}
+	logn := math.Log(math.Max(float64(n), 2))
+
+	// Low range for the unstable round: n/log²n, floored sensibly.
+	lowRange := uint64(float64(n) / (logn * logn))
+	if lowRange < 2 {
+		lowRange = 2
+	}
+	lowBits := uint(bits.Len64(lowRange - 1))
+	lowMask := (uint64(1) << lowBits) - 1
+
+	if keyRange <= lowMask+1 {
+		return UnstableSort(procs, a, int(keyRange), seed)
+	}
+
+	// Save full keys in Value? No — Value is payload. Work on composite
+	// keys by repeatedly extracting digit fields: first unstable-sort by
+	// the low bits, then stable counting sorts by successive higher
+	// digits.
+	work := make([]rec.Record, n)
+	fullKeys := make([]uint64, n)
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fullKeys[i] = a[i].Key
+		}
+	})
+
+	// Unstable round on low bits: build records keyed by the low digit but
+	// carrying their original index so the permutation can be applied to
+	// keys and payloads alike.
+	perm := make([]rec.Record, n)
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			perm[i] = rec.Record{Key: a[i].Key & lowMask, Value: uint64(i)}
+		}
+	})
+	if err := UnstableSort(procs, perm, int(lowMask)+1, seed); err != nil {
+		return err
+	}
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := perm[i].Value
+			work[i] = rec.Record{Key: fullKeys[src], Value: a[src].Value}
+		}
+	})
+	copy(a, work)
+
+	// Stable counting-sort rounds on the high bits, ~digitBits per round.
+	digitBits := uint(bits.Len(uint(int(logn))))
+	if digitBits < 4 {
+		digitBits = 4
+	}
+	digitMask := (uint64(1) << digitBits) - 1
+	scratch := work // reuse as counting-sort scratch
+	for shift := lowBits; shift < uint(bits.Len64(keyRange-1)); shift += digitBits {
+		s := shift
+		sortint.ParallelCountingSort(procs, a, scratch, int(digitMask)+1, func(r rec.Record) int {
+			return int((r.Key >> s) & digitMask)
+		})
+	}
+	return nil
+}
+
+// SemisortViaRR semisorts a using the integer-sorting route the paper's
+// Section 3.2 argues against: assign each distinct hashed key a dense
+// label in [O(distinct)] with a hash table (the naming problem), then
+// integer sort the labels with Rajasekaran–Reif. Returns a new array.
+func SemisortViaRR(procs int, a []rec.Record, seed uint64) ([]rec.Record, error) {
+	n := len(a)
+	out := make([]rec.Record, n)
+	if n == 0 {
+		return out, nil
+	}
+	procs = parallel.Procs(procs)
+
+	// Naming: parallel inserts into a phase-concurrent table, then a
+	// sequential label assignment over occupied slots (cheap: ~distinct),
+	// then parallel lookups. The paper's point is precisely that this
+	// full extra pass over all records already costs as much as a whole
+	// sequential semisort.
+	table := hashtable.New(n)
+	parallel.For(procs, n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k := a[i].Key
+			if k == hashtable.Empty {
+				k = hashtable.Empty - 1 // rrsort demo path; collision odds ~2^-64
+			}
+			table.InsertOrGetSlot(k)
+		}
+	})
+	labelOf := make(map[uint64]uint64, table.Size())
+	next := uint64(0)
+	table.ForEach(func(k, _ uint64) {
+		labelOf[k] = next
+		next++
+	})
+	m := next
+
+	labeled := make([]rec.Record, n)
+	parallel.For(procs, n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k := a[i].Key
+			if k == hashtable.Empty {
+				k = hashtable.Empty - 1
+			}
+			labeled[i] = rec.Record{Key: labelOf[k], Value: uint64(i)}
+		}
+	})
+
+	if err := IntegerSort(procs, labeled, m, seed); err != nil {
+		return nil, err
+	}
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = a[labeled[i].Value]
+		}
+	})
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package rrsort
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+	"repro/internal/rec"
+)
+
+func randRecords(n int, keyRange uint64, seed int64) []rec.Record {
+	r := rand.New(rand.NewSource(seed))
+	a := make([]rec.Record, n)
+	for i := range a {
+		a[i] = rec.Record{Key: uint64(r.Int63n(int64(keyRange))), Value: uint64(i)}
+	}
+	return a
+}
+
+func TestUnstableSortSmallRange(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		for _, n := range []int{0, 1, 2, 100, 10000, 100000} {
+			m := max(n/200, 2) // respect m ≤ n/log²n-ish
+			a := randRecords(n, uint64(m), int64(n)+int64(procs))
+			orig := append([]rec.Record(nil), a...)
+			if err := UnstableSort(procs, a, m, 5); err != nil {
+				t.Fatalf("procs=%d n=%d: %v", procs, n, err)
+			}
+			if !rec.IsSorted(a) {
+				t.Fatalf("procs=%d n=%d: not sorted", procs, n)
+			}
+			if !rec.SamePermutation(orig, a) {
+				t.Fatalf("procs=%d n=%d: not a permutation", procs, n)
+			}
+		}
+	}
+}
+
+func TestUnstableSortSkewed(t *testing.T) {
+	// One key holds almost everything; its u(i) estimate must stretch.
+	const n = 50000
+	a := make([]rec.Record, n)
+	for i := range a {
+		k := uint64(0)
+		if i%100 == 0 {
+			k = uint64(1 + i%7)
+		}
+		a[i] = rec.Record{Key: k, Value: uint64(i)}
+	}
+	orig := append([]rec.Record(nil), a...)
+	if err := UnstableSort(4, a, 8, 9); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.IsSorted(a) || !rec.SamePermutation(orig, a) {
+		t.Fatal("skewed unstable sort failed")
+	}
+}
+
+func TestIntegerSortRanges(t *testing.T) {
+	for _, keyRange := range []uint64{2, 100, 1 << 10, 1 << 16, 1 << 20} {
+		for _, n := range []int{100, 50000} {
+			a := randRecords(n, keyRange, int64(keyRange))
+			orig := append([]rec.Record(nil), a...)
+			if err := IntegerSort(4, a, keyRange, 3); err != nil {
+				t.Fatalf("range=%d n=%d: %v", keyRange, n, err)
+			}
+			if !rec.IsSorted(a) {
+				t.Fatalf("range=%d n=%d: not sorted", keyRange, n)
+			}
+			if !rec.SamePermutation(orig, a) {
+				t.Fatalf("range=%d n=%d: not a permutation", keyRange, n)
+			}
+		}
+	}
+}
+
+func TestIntegerSortEdge(t *testing.T) {
+	if err := IntegerSort(2, nil, 10, 1); err != nil {
+		t.Errorf("empty: %v", err)
+	}
+	one := []rec.Record{{Key: 3, Value: 9}}
+	if err := IntegerSort(2, one, 10, 1); err != nil || one[0].Value != 9 {
+		t.Errorf("single: %v %v", one, err)
+	}
+	if err := IntegerSort(2, []rec.Record{{}, {}}, 0, 1); err == nil {
+		t.Error("keyRange=0 must error")
+	}
+}
+
+func TestIntegerSortQuick(t *testing.T) {
+	prop := func(keys []uint16, procsRaw uint8) bool {
+		procs := int(procsRaw)%4 + 1
+		a := make([]rec.Record, len(keys))
+		for i, k := range keys {
+			a[i] = rec.Record{Key: uint64(k), Value: uint64(i)}
+		}
+		orig := append([]rec.Record(nil), a...)
+		if err := IntegerSort(procs, a, 1<<16, 7); err != nil {
+			return false
+		}
+		return rec.IsSorted(a) && rec.SamePermutation(orig, a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSemisortViaRR(t *testing.T) {
+	f := hash.NewFamily(3)
+	for _, procs := range []int{1, 4} {
+		for _, distinct := range []uint64{1, 10, 1000, 50000} {
+			const n = 50000
+			r := rand.New(rand.NewSource(int64(distinct)))
+			a := make([]rec.Record, n)
+			for i := range a {
+				a[i] = rec.Record{Key: f.Hash(uint64(r.Int63n(int64(distinct)))), Value: uint64(i)}
+			}
+			out, err := SemisortViaRR(procs, a, 11)
+			if err != nil {
+				t.Fatalf("procs=%d distinct=%d: %v", procs, distinct, err)
+			}
+			if !rec.IsSemisorted(out) {
+				t.Fatalf("procs=%d distinct=%d: not semisorted", procs, distinct)
+			}
+			if !rec.SamePermutation(a, out) {
+				t.Fatalf("procs=%d distinct=%d: not a permutation", procs, distinct)
+			}
+		}
+	}
+}
+
+func TestSemisortViaRREmpty(t *testing.T) {
+	out, err := SemisortViaRR(2, nil, 1)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty: %v %v", out, err)
+	}
+}
+
+func BenchmarkSemisortViaRR(b *testing.B) {
+	f := hash.NewFamily(3)
+	r := rand.New(rand.NewSource(1))
+	const n = 1 << 18
+	a := make([]rec.Record, n)
+	for i := range a {
+		a[i] = rec.Record{Key: f.Hash(uint64(r.Int63n(n / 4))), Value: uint64(i)}
+	}
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SemisortViaRR(0, a, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

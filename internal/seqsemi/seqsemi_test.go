@@ -1,0 +1,139 @@
+package seqsemi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+	"repro/internal/rec"
+)
+
+var algos = []struct {
+	name string
+	fn   func([]rec.Record) []rec.Record
+}{
+	{"Chained", Chained},
+	{"OpenAddressing", OpenAddressing},
+	{"TwoPhase", TwoPhase},
+	{"GoMap", GoMap},
+}
+
+func mkRecords(n int, keyRange uint64, seed int64) []rec.Record {
+	r := rand.New(rand.NewSource(seed))
+	f := hash.NewFamily(uint64(seed))
+	a := make([]rec.Record, n)
+	for i := range a {
+		var k uint64
+		if keyRange == 0 {
+			k = r.Uint64()
+		} else {
+			k = f.Hash(uint64(r.Int63n(int64(keyRange))))
+		}
+		a[i] = rec.Record{Key: k, Value: uint64(i)}
+	}
+	return a
+}
+
+func TestAllAlgosSemisort(t *testing.T) {
+	for _, alg := range algos {
+		t.Run(alg.name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 2, 10, 1000, 50000} {
+				for _, keyRange := range []uint64{1, 3, 100, 0} {
+					if n == 0 && keyRange > 1 {
+						continue
+					}
+					a := mkRecords(n, keyRange, int64(n)+int64(keyRange))
+					out := alg.fn(a)
+					if len(out) != n {
+						t.Fatalf("n=%d kr=%d: output length %d", n, keyRange, len(out))
+					}
+					if !rec.IsSemisorted(out) {
+						t.Fatalf("n=%d kr=%d: not semisorted", n, keyRange)
+					}
+					if !rec.SamePermutation(a, out) {
+						t.Fatalf("n=%d kr=%d: not a permutation", n, keyRange)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAlgosPreserveInput(t *testing.T) {
+	for _, alg := range algos {
+		a := mkRecords(1000, 10, 3)
+		orig := append([]rec.Record(nil), a...)
+		alg.fn(a)
+		for i := range a {
+			if a[i] != orig[i] {
+				t.Fatalf("%s modified its input at %d", alg.name, i)
+			}
+		}
+	}
+}
+
+func TestAlgosAgreeOnGroupSizes(t *testing.T) {
+	// All four algorithms must produce identical key multiplicity
+	// structure (groups may be ordered differently between algorithms).
+	a := mkRecords(20000, 500, 9)
+	want := rec.KeyCounts(a)
+	for _, alg := range algos {
+		out := alg.fn(a)
+		got := rec.KeyCounts(out)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d distinct keys, want %d", alg.name, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("%s: key %d count %d, want %d", alg.name, k, got[k], c)
+			}
+		}
+	}
+}
+
+func TestAlgosQuick(t *testing.T) {
+	for _, alg := range algos {
+		alg := alg
+		prop := func(keys []uint16) bool {
+			a := make([]rec.Record, len(keys))
+			for i, k := range keys {
+				a[i] = rec.Record{Key: uint64(k % 97), Value: uint64(i)}
+			}
+			out := alg.fn(a)
+			return rec.IsSemisorted(out) && rec.SamePermutation(a, out)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", alg.name, err)
+		}
+	}
+}
+
+func TestChainedSentinelKey(t *testing.T) {
+	// Keys 0 and ^0 are valid for all sequential baselines.
+	a := []rec.Record{
+		{Key: 0, Value: 1}, {Key: ^uint64(0), Value: 2},
+		{Key: 0, Value: 3}, {Key: ^uint64(0), Value: 4},
+	}
+	for _, alg := range algos {
+		out := alg.fn(a)
+		if !rec.IsSemisorted(out) || !rec.SamePermutation(a, out) {
+			t.Errorf("%s mishandled extreme keys: %v", alg.name, out)
+		}
+	}
+}
+
+func benchAlgo(b *testing.B, fn func([]rec.Record) []rec.Record, keyRange uint64) {
+	const n = 1 << 20
+	a := mkRecords(n, keyRange, 1)
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(a)
+	}
+}
+
+func BenchmarkChained1M(b *testing.B)        { benchAlgo(b, Chained, 1<<20) }
+func BenchmarkOpenAddressing1M(b *testing.B) { benchAlgo(b, OpenAddressing, 1<<20) }
+func BenchmarkTwoPhase1M(b *testing.B)       { benchAlgo(b, TwoPhase, 1<<20) }
+func BenchmarkGoMap1M(b *testing.B)          { benchAlgo(b, GoMap, 1<<20) }

@@ -1,0 +1,65 @@
+package sortcmp
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/rec"
+)
+
+// The divide-and-conquer sorts must be correct on both schedulers: the
+// bounded-goroutine Limiter and the work-stealing Pool (the Cilk-faithful
+// runtime).
+func TestSortsOnWorkStealingPool(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+
+	for _, n := range []int{0, 100, parCutoff + 1, 120000} {
+		a := randRecords(n, 1000, int64(n))
+		orig := append([]rec.Record(nil), a...)
+		ParallelQuicksortOn(pool, a)
+		checkSorted(t, "pqsort on pool", a, orig)
+
+		b := append([]rec.Record(nil), orig...)
+		MergeSortOn(pool, b)
+		checkSorted(t, "mergesort on pool", b, orig)
+	}
+}
+
+func TestMergeSortOnPoolStability(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	const n = 150000
+	a := make([]rec.Record, n)
+	for i := range a {
+		a[i] = rec.Record{Key: uint64(i % 37), Value: uint64(i)}
+	}
+	MergeSortOn(pool, a)
+	for i := 1; i < n; i++ {
+		if a[i].Key == a[i-1].Key && a[i].Value < a[i-1].Value {
+			t.Fatalf("not stable at %d", i)
+		}
+	}
+}
+
+func TestSortsOnNilLimiterJoiner(t *testing.T) {
+	// A nil *Limiter passed through the Joiner interface must behave
+	// sequentially, not panic.
+	var lim *parallel.Limiter
+	a := randRecords(parCutoff+10, 100, 3)
+	orig := append([]rec.Record(nil), a...)
+	ParallelQuicksortOn(lim, a)
+	checkSorted(t, "pqsort nil joiner", a, orig)
+}
+
+func BenchmarkPQuicksortOnPool1M(b *testing.B) {
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	benchSort(b, func(a []rec.Record) { ParallelQuicksortOn(pool, a) })
+}
+
+func BenchmarkMergeSortOnPool1M(b *testing.B) {
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	benchSort(b, func(a []rec.Record) { MergeSortOn(pool, a) })
+}

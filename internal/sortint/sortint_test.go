@@ -1,0 +1,284 @@
+package sortint
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+)
+
+func randRecords(n int, keyRange uint64, seed int64) []rec.Record {
+	r := rand.New(rand.NewSource(seed))
+	a := make([]rec.Record, n)
+	for i := range a {
+		var k uint64
+		if keyRange == 0 {
+			k = r.Uint64()
+		} else {
+			k = uint64(r.Int63n(int64(keyRange)))
+		}
+		a[i] = rec.Record{Key: k, Value: uint64(i)}
+	}
+	return a
+}
+
+func checkSorted(t *testing.T, label string, got, orig []rec.Record) {
+	t.Helper()
+	if !rec.IsSorted(got) {
+		t.Fatalf("%s: output not sorted by key", label)
+	}
+	if !rec.SamePermutation(orig, got) {
+		t.Fatalf("%s: output is not a permutation of the input", label)
+	}
+}
+
+func TestRadixSortBasic(t *testing.T) {
+	a := []rec.Record{{Key: 5, Value: 0}, {Key: 1, Value: 1}, {Key: 9, Value: 2}, {Key: 1, Value: 3}}
+	orig := append([]rec.Record(nil), a...)
+	RadixSort(1, a)
+	checkSorted(t, "basic", a, orig)
+}
+
+func TestRadixSortSizesAndProcs(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 2, smallCutoff, smallCutoff + 1, 1000, seqCutoff, seqCutoff + 3, 100000} {
+			a := randRecords(n, 0, int64(n)*7+int64(procs))
+			orig := append([]rec.Record(nil), a...)
+			RadixSort(procs, a)
+			checkSorted(t, "sizes", a, orig)
+		}
+	}
+}
+
+func TestRadixSortKeyDistributions(t *testing.T) {
+	cases := []struct {
+		name     string
+		keyRange uint64
+	}{
+		{"allEqual", 1},
+		{"binary", 2},
+		{"smallRange", 100},
+		{"mediumRange", 1 << 20},
+		{"full64", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := randRecords(50000, c.keyRange, 42)
+			orig := append([]rec.Record(nil), a...)
+			RadixSort(4, a)
+			checkSorted(t, c.name, a, orig)
+		})
+	}
+}
+
+func TestRadixSortHighBitsOnly(t *testing.T) {
+	// Keys differing only in the top byte exercise the first pass and the
+	// single-element-bucket copy-back path.
+	a := make([]rec.Record, 256)
+	for i := range a {
+		a[i] = rec.Record{Key: uint64(255-i) << 56, Value: uint64(i)}
+	}
+	orig := append([]rec.Record(nil), a...)
+	RadixSort(4, a)
+	checkSorted(t, "highbits", a, orig)
+}
+
+func TestRadixSortLowBitsOnly(t *testing.T) {
+	// Keys differing only in the bottom byte force recursion through all
+	// eight levels.
+	a := make([]rec.Record, 10000)
+	r := rand.New(rand.NewSource(3))
+	for i := range a {
+		a[i] = rec.Record{Key: uint64(r.Intn(256)), Value: uint64(i)}
+	}
+	orig := append([]rec.Record(nil), a...)
+	RadixSort(4, a)
+	checkSorted(t, "lowbits", a, orig)
+}
+
+func TestRadixSortAlreadySortedAndReversed(t *testing.T) {
+	n := 70000
+	asc := make([]rec.Record, n)
+	for i := range asc {
+		asc[i] = rec.Record{Key: uint64(i) * 1315423911, Value: uint64(i)}
+	}
+	sort.Slice(asc, func(i, j int) bool { return asc[i].Key < asc[j].Key })
+	orig := append([]rec.Record(nil), asc...)
+	RadixSort(4, asc)
+	checkSorted(t, "sorted", asc, orig)
+
+	desc := append([]rec.Record(nil), orig...)
+	for i, j := 0, len(desc)-1; i < j; i, j = i+1, j-1 {
+		desc[i], desc[j] = desc[j], desc[i]
+	}
+	RadixSort(4, desc)
+	checkSorted(t, "reversed", desc, orig)
+}
+
+func TestRadixSortWithReusedScratch(t *testing.T) {
+	scratch := make([]rec.Record, 5000)
+	for trial := 0; trial < 3; trial++ {
+		a := randRecords(5000, 1000, int64(trial))
+		orig := append([]rec.Record(nil), a...)
+		RadixSortWith(2, a, scratch)
+		checkSorted(t, "reused scratch", a, orig)
+	}
+}
+
+func TestRadixSortWithShortScratchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for short scratch")
+		}
+	}()
+	RadixSortWith(1, make([]rec.Record, 10), make([]rec.Record, 5))
+}
+
+func TestRadixSortQuick(t *testing.T) {
+	prop := func(keys []uint64, procsRaw uint8) bool {
+		procs := int(procsRaw)%4 + 1
+		a := make([]rec.Record, len(keys))
+		for i, k := range keys {
+			a[i] = rec.Record{Key: k, Value: uint64(i)}
+		}
+		orig := append([]rec.Record(nil), a...)
+		RadixSort(procs, a)
+		return rec.IsSorted(a) && rec.SamePermutation(orig, a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadixSortMatchesStdSort(t *testing.T) {
+	a := randRecords(20000, 500, 77)
+	b := append([]rec.Record(nil), a...)
+	RadixSort(4, a)
+	sort.Slice(b, func(i, j int) bool { return b[i].Key < b[j].Key })
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatalf("key mismatch at %d: %d vs %d", i, a[i].Key, b[i].Key)
+		}
+	}
+}
+
+func TestCountingSortStable(t *testing.T) {
+	// Stability: records with equal keys keep input order (Value encodes
+	// input position here).
+	const n = 1000
+	const m = 10
+	a := make([]rec.Record, n)
+	r := rand.New(rand.NewSource(5))
+	for i := range a {
+		a[i] = rec.Record{Key: uint64(r.Intn(m)), Value: uint64(i)}
+	}
+	orig := append([]rec.Record(nil), a...)
+	scratch := make([]rec.Record, n)
+	CountingSort(a, scratch, m, func(r rec.Record) int { return int(r.Key) })
+	checkSorted(t, "counting", a, orig)
+	for i := 1; i < n; i++ {
+		if a[i].Key == a[i-1].Key && a[i].Value < a[i-1].Value {
+			t.Fatalf("counting sort not stable at %d", i)
+		}
+	}
+}
+
+func TestCountingSortCustomBucket(t *testing.T) {
+	// Sort by low 4 bits only.
+	a := randRecords(500, 0, 9)
+	scratch := make([]rec.Record, len(a))
+	CountingSort(a, scratch, 16, func(r rec.Record) int { return int(r.Key & 15) })
+	for i := 1; i < len(a); i++ {
+		if a[i].Key&15 < a[i-1].Key&15 {
+			t.Fatalf("not sorted by bucket at %d", i)
+		}
+	}
+}
+
+func TestCountingSortEdge(t *testing.T) {
+	CountingSort(nil, nil, 4, func(r rec.Record) int { return 0 })
+	one := []rec.Record{{Key: 3}}
+	CountingSort(one, nil, 4, func(r rec.Record) int { return 0 })
+	if one[0].Key != 3 {
+		t.Error("single-element counting sort mutated data")
+	}
+}
+
+func TestParallelCountingSortMatchesSequential(t *testing.T) {
+	const m = 64
+	for _, procs := range []int{1, 4} {
+		for _, n := range []int{0, 1, 100, seqCutoff + 100, 100000} {
+			a := randRecords(n, m, int64(n))
+			b := append([]rec.Record(nil), a...)
+			sa := make([]rec.Record, n)
+			sb := make([]rec.Record, n)
+			bucket := func(r rec.Record) int { return int(r.Key) }
+			ParallelCountingSort(procs, a, sa, m, bucket)
+			CountingSort(b, sb, m, bucket)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("procs=%d n=%d: mismatch at %d (stability or order broken)", procs, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelCountingSortStability(t *testing.T) {
+	const n = 100000
+	const m = 8
+	a := make([]rec.Record, n)
+	r := rand.New(rand.NewSource(11))
+	for i := range a {
+		a[i] = rec.Record{Key: uint64(r.Intn(m)), Value: uint64(i)}
+	}
+	scratch := make([]rec.Record, n)
+	ParallelCountingSort(8, a, scratch, m, func(r rec.Record) int { return int(r.Key) })
+	for i := 1; i < n; i++ {
+		if a[i].Key == a[i-1].Key && a[i].Value < a[i-1].Value {
+			t.Fatalf("parallel counting sort not stable at %d", i)
+		}
+		if a[i].Key < a[i-1].Key {
+			t.Fatalf("parallel counting sort not sorted at %d", i)
+		}
+	}
+}
+
+func TestInsertionSortDirect(t *testing.T) {
+	a := []rec.Record{{Key: 3}, {Key: 1}, {Key: 2}, {Key: 1}}
+	insertionSort(a)
+	if !rec.IsSorted(a) {
+		t.Error("insertionSort failed")
+	}
+	insertionSort(nil) // must not panic
+}
+
+func BenchmarkRadixSort1M(b *testing.B) {
+	const n = 1 << 20
+	orig := randRecords(n, 0, 1)
+	a := make([]rec.Record, n)
+	scratch := make([]rec.Record, n)
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a, orig)
+		RadixSortWith(0, a, scratch)
+	}
+}
+
+func BenchmarkParallelCountingSort1M(b *testing.B) {
+	const n = 1 << 20
+	const m = 256
+	orig := randRecords(n, m, 1)
+	a := make([]rec.Record, n)
+	scratch := make([]rec.Record, n)
+	bucket := func(r rec.Record) int { return int(r.Key) }
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a, orig)
+		ParallelCountingSort(0, a, scratch, m, bucket)
+	}
+}

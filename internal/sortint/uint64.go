@@ -1,0 +1,164 @@
+package sortint
+
+import (
+	"repro/internal/parallel"
+)
+
+// SortUint64 sorts keys in place using the same parallel top-down MSD
+// radix structure as RadixSort, specialized to bare 64-bit keys (half the
+// memory traffic of Record sorting). The semisort uses it for its sample,
+// which consists of keys only.
+func SortUint64(procs int, keys []uint64) {
+	if len(keys) <= 1 {
+		return
+	}
+	scratch := make([]uint64, len(keys))
+	SortUint64With(procs, keys, scratch)
+}
+
+// SortUint64With is SortUint64 with a caller-provided scratch buffer of at
+// least len(keys).
+func SortUint64With(procs int, keys, scratch []uint64) {
+	if len(keys) <= 1 {
+		return
+	}
+	if len(scratch) < len(keys) {
+		panic("sortint: scratch buffer too small")
+	}
+	procs = parallel.Procs(procs)
+	lim := parallel.NewLimiter(procs)
+	u64SortInPlace(procs, lim, keys, scratch[:len(keys)], 64-radixBits)
+}
+
+func u64SortInPlace(procs int, lim parallel.Joiner, a, scratch []uint64, shift int) {
+	n := len(a)
+	if n <= smallCutoff {
+		u64InsertionSort(a)
+		return
+	}
+	if shift < 0 {
+		return
+	}
+	starts := u64RadixPass(procs, a, scratch, shift)
+	u64RecurseBuckets(lim, starts, func(lo, hi int) {
+		if hi-lo == 1 {
+			a[lo] = scratch[lo]
+			return
+		}
+		u64SortInto(procs, lim, scratch[lo:hi], a[lo:hi], shift-radixBits)
+	})
+}
+
+func u64SortInto(procs int, lim parallel.Joiner, src, dst []uint64, shift int) {
+	n := len(src)
+	if n <= smallCutoff {
+		copy(dst, src)
+		u64InsertionSort(dst)
+		return
+	}
+	if shift < 0 {
+		copy(dst, src)
+		return
+	}
+	starts := u64RadixPass(procs, src, dst, shift)
+	u64RecurseBuckets(lim, starts, func(lo, hi int) {
+		u64SortInPlace(procs, lim, dst[lo:hi], src[lo:hi], shift-radixBits)
+	})
+}
+
+func u64RecurseBuckets(lim parallel.Joiner, starts [radixBuckets + 1]int, body func(lo, hi int)) {
+	n := starts[radixBuckets]
+	if !lim.Parallel() || n < seqCutoff {
+		for b := 0; b < radixBuckets; b++ {
+			if starts[b+1] > starts[b] {
+				body(starts[b], starts[b+1])
+			}
+		}
+		return
+	}
+	var fns []func()
+	for b := 0; b < radixBuckets; b++ {
+		lo, hi := starts[b], starts[b+1]
+		switch {
+		case hi-lo == 1:
+			body(lo, hi)
+		case hi-lo > 1:
+			fns = append(fns, func() { body(lo, hi) })
+		}
+	}
+	lim.JoinAll(fns...)
+}
+
+func u64RadixPass(procs int, src, dst []uint64, shift int) [radixBuckets + 1]int {
+	n := len(src)
+	byteOf := func(k uint64) int { return int(k>>uint(shift)) & (radixBuckets - 1) }
+
+	var starts [radixBuckets + 1]int
+	if procs == 1 || n < seqCutoff {
+		var counts [radixBuckets]int
+		for i := 0; i < n; i++ {
+			counts[byteOf(src[i])]++
+		}
+		sum := 0
+		var offs [radixBuckets]int
+		for b := 0; b < radixBuckets; b++ {
+			starts[b] = sum
+			offs[b] = sum
+			sum += counts[b]
+		}
+		starts[radixBuckets] = sum
+		for i := 0; i < n; i++ {
+			b := byteOf(src[i])
+			dst[offs[b]] = src[i]
+			offs[b]++
+		}
+		return starts
+	}
+
+	grain := parallel.Grain(n, procs, 1<<13)
+	nblocks := (n + grain - 1) / grain
+	counts := make([][radixBuckets]int32, nblocks)
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			s, e := blk*grain, min((blk+1)*grain, n)
+			c := &counts[blk]
+			for i := s; i < e; i++ {
+				c[byteOf(src[i])]++
+			}
+		}
+	})
+	sum := 0
+	offsets := make([][radixBuckets]int32, nblocks)
+	for b := 0; b < radixBuckets; b++ {
+		starts[b] = sum
+		for blk := 0; blk < nblocks; blk++ {
+			offsets[blk][b] = int32(sum)
+			sum += int(counts[blk][b])
+		}
+	}
+	starts[radixBuckets] = sum
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			s, e := blk*grain, min((blk+1)*grain, n)
+			offs := offsets[blk]
+			for i := s; i < e; i++ {
+				b := byteOf(src[i])
+				dst[offs[b]] = src[i]
+				offs[b]++
+			}
+		}
+	})
+	return starts
+}
+
+func u64InsertionSort(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

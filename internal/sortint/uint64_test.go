@@ -1,0 +1,138 @@
+package sortint
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randKeys(n int, keyRange uint64, seed int64) []uint64 {
+	r := rand.New(rand.NewSource(seed))
+	a := make([]uint64, n)
+	for i := range a {
+		if keyRange == 0 {
+			a[i] = r.Uint64()
+		} else {
+			a[i] = uint64(r.Int63n(int64(keyRange)))
+		}
+	}
+	return a
+}
+
+func u64Sorted(a []uint64) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func u64SameMultiset(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[uint64]int, len(a))
+	for _, v := range a {
+		m[v]++
+	}
+	for _, v := range b {
+		m[v]--
+		if m[v] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortUint64SizesAndProcs(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		for _, n := range []int{0, 1, 2, smallCutoff + 1, 1000, seqCutoff + 5, 120000} {
+			a := randKeys(n, 0, int64(n)+int64(procs))
+			orig := append([]uint64(nil), a...)
+			SortUint64(procs, a)
+			if !u64Sorted(a) {
+				t.Fatalf("procs=%d n=%d: not sorted", procs, n)
+			}
+			if !u64SameMultiset(orig, a) {
+				t.Fatalf("procs=%d n=%d: multiset changed", procs, n)
+			}
+		}
+	}
+}
+
+func TestSortUint64Distributions(t *testing.T) {
+	for _, keyRange := range []uint64{1, 2, 100, 1 << 30, 0} {
+		a := randKeys(60000, keyRange, 5)
+		orig := append([]uint64(nil), a...)
+		SortUint64(4, a)
+		if !u64Sorted(a) || !u64SameMultiset(orig, a) {
+			t.Fatalf("keyRange=%d failed", keyRange)
+		}
+	}
+}
+
+func TestSortUint64MatchesStdlib(t *testing.T) {
+	a := randKeys(30000, 1000, 7)
+	b := append([]uint64(nil), a...)
+	SortUint64(4, a)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSortUint64ExtremeValues(t *testing.T) {
+	a := []uint64{^uint64(0), 0, 1, ^uint64(0) - 1, 1 << 63, 1<<63 - 1}
+	SortUint64(2, a)
+	if !u64Sorted(a) {
+		t.Fatalf("extremes: %v", a)
+	}
+}
+
+func TestSortUint64WithScratchReuse(t *testing.T) {
+	scratch := make([]uint64, 5000)
+	for trial := 0; trial < 3; trial++ {
+		a := randKeys(5000, 50, int64(trial))
+		SortUint64With(2, a, scratch)
+		if !u64Sorted(a) {
+			t.Fatalf("trial %d failed", trial)
+		}
+	}
+}
+
+func TestSortUint64ShortScratchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SortUint64With(1, make([]uint64, 10), make([]uint64, 3))
+}
+
+func TestSortUint64Quick(t *testing.T) {
+	prop := func(a []uint64) bool {
+		orig := append([]uint64(nil), a...)
+		SortUint64(2, a)
+		return u64Sorted(a) && u64SameMultiset(orig, a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSortUint64_1M(b *testing.B) {
+	const n = 1 << 20
+	orig := randKeys(n, 0, 1)
+	a := make([]uint64, n)
+	scratch := make([]uint64, n)
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a, orig)
+		SortUint64With(0, a, scratch)
+	}
+}

@@ -1,0 +1,195 @@
+package semisort
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAllRunsMatchesRuns checks the iterator and callback forms agree on
+// arbitrary semisorted inputs.
+func TestAllRunsMatchesRuns(t *testing.T) {
+	prop := func(keys []uint8) bool {
+		// Build a semisorted array by expanding each key into a run.
+		var a []Record
+		for i, k := range keys {
+			for j := 0; j <= int(k)%4; j++ {
+				a = append(a, Record{Key: uint64(i)<<8 | uint64(k), Value: uint64(j)})
+			}
+		}
+		var viaCallback, viaIter [][2]int
+		Runs(a, func(s, e int) { viaCallback = append(viaCallback, [2]int{s, e}) })
+		for s, e := range AllRuns(a) {
+			viaIter = append(viaIter, [2]int{s, e})
+		}
+		if len(viaCallback) != len(viaIter) {
+			return false
+		}
+		for i := range viaCallback {
+			if viaCallback[i] != viaIter[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggregationsAgreeWithMapReference cross-checks every aggregation
+// helper against the plain-map implementation on random inputs.
+func TestAggregationsAgreeWithMapReference(t *testing.T) {
+	type item struct {
+		k int
+		v int
+	}
+	r := rand.New(rand.NewSource(44))
+	items := make([]item, 30000)
+	for i := range items {
+		items[i] = item{k: r.Intn(500), v: r.Intn(1000) - 500}
+	}
+	key := func(it item) int { return it.k }
+
+	wantCount := map[int]int{}
+	wantSum := map[int]int{}
+	wantMax := map[int]int{}
+	for _, it := range items {
+		wantCount[it.k]++
+		wantSum[it.k] += it.v
+		if cur, ok := wantMax[it.k]; !ok || it.v > cur {
+			wantMax[it.k] = it.v
+		}
+	}
+
+	gotCount, err := CountBy(items, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSum, err := SumBy(items, key, func(it item) int { return it.v }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMax, err := MaxBy(items, key, func(it item) int { return it.v }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotReduce, err := ReduceBy(items, key, func(acc int, it item) int { return acc + it.v }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(gotCount) != len(wantCount) {
+		t.Fatalf("CountBy groups = %d, want %d", len(gotCount), len(wantCount))
+	}
+	for k := range wantCount {
+		if gotCount[k] != wantCount[k] {
+			t.Fatalf("CountBy[%d] = %d, want %d", k, gotCount[k], wantCount[k])
+		}
+		if gotSum[k] != wantSum[k] {
+			t.Fatalf("SumBy[%d] = %d, want %d", k, gotSum[k], wantSum[k])
+		}
+		if gotReduce[k] != wantSum[k] {
+			t.Fatalf("ReduceBy[%d] = %d, want %d", k, gotReduce[k], wantSum[k])
+		}
+		if gotMax[k].v != wantMax[k] {
+			t.Fatalf("MaxBy[%d].v = %d, want %d", k, gotMax[k].v, wantMax[k])
+		}
+	}
+}
+
+// TestDistinctMatchesMapKeys checks Distinct against map-key semantics on
+// arbitrary inputs.
+func TestDistinctMatchesMapKeys(t *testing.T) {
+	prop := func(vals []int16) bool {
+		got, err := Distinct(vals, nil)
+		if err != nil {
+			return false
+		}
+		want := map[int16]bool{}
+		for _, v := range vals {
+			want[v] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, v := range got {
+			if !want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecordsIdempotent checks that semisorting an already-semisorted
+// array preserves the grouping property (groups may be reordered).
+func TestRecordsIdempotent(t *testing.T) {
+	a := mkRecords(40000, 200, 12)
+	once, err := Records(a, &Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Records(once, &Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSemisorted(twice) {
+		t.Fatal("second semisort broke grouping")
+	}
+	c1 := map[uint64]int{}
+	for _, r := range once {
+		c1[r.Key]++
+	}
+	for _, r := range twice {
+		c1[r.Key]--
+	}
+	for k, c := range c1 {
+		if c != 0 {
+			t.Fatalf("multiset changed for key %d", k)
+		}
+	}
+}
+
+// TestStableByIsByPlusOrder checks StableBy equals By up to within-group
+// permutation, and is itself ordered.
+func TestStableByIsByPlusOrder(t *testing.T) {
+	type ev struct {
+		k   uint8
+		seq int
+	}
+	r := rand.New(rand.NewSource(77))
+	items := make([]ev, 20000)
+	for i := range items {
+		items[i] = ev{k: uint8(r.Intn(30)), seq: i}
+	}
+	key := func(e ev) uint8 { return e.k }
+	stable, err := StableBy(items, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group sizes must match a reference count, and runs must ascend.
+	counts := map[uint8]int{}
+	for _, e := range items {
+		counts[e.k]++
+	}
+	i := 0
+	for i < len(stable) {
+		k := stable[i].k
+		j, last := i, -1
+		for j < len(stable) && stable[j].k == k {
+			if stable[j].seq <= last {
+				t.Fatalf("order violated in group %d", k)
+			}
+			last = stable[j].seq
+			j++
+		}
+		if j-i != counts[k] {
+			t.Fatalf("group %d size %d, want %d", k, j-i, counts[k])
+		}
+		i = j
+	}
+}

@@ -1,0 +1,45 @@
+package semisort
+
+import (
+	"repro/internal/core"
+)
+
+// A Sorter owns the algorithm's scratch buffers (the slot array, occupancy
+// flags and sample buffers — roughly 4–6x the input size) so that repeated
+// semisorts reuse memory instead of reallocating it per call. This mirrors
+// how the paper's C++ implementation amortizes its arrays across runs.
+//
+// A Sorter is NOT safe for concurrent use; create one per goroutine or
+// guard it externally.
+type Sorter struct {
+	ws  core.Workspace
+	cfg Config
+}
+
+// NewSorter returns a Sorter with the given configuration (nil selects the
+// defaults). The configuration can be overridden per call via SortConfig.
+func NewSorter(cfg *Config) *Sorter {
+	s := &Sorter{}
+	if cfg != nil {
+		s.cfg = *cfg
+	}
+	return s
+}
+
+// Sort semisorts a into a freshly allocated output slice, reusing the
+// Sorter's internal buffers for everything else.
+func (s *Sorter) Sort(a []Record) ([]Record, error) {
+	out, _, err := core.SemisortWS(&s.ws, a, &s.cfg)
+	return out, err
+}
+
+// SortWithStats is Sort plus the execution statistics.
+func (s *Sorter) SortWithStats(a []Record) ([]Record, Stats, error) {
+	return core.SemisortWS(&s.ws, a, &s.cfg)
+}
+
+// SortConfig semisorts a with a one-off configuration while still reusing
+// the Sorter's buffers.
+func (s *Sorter) SortConfig(a []Record, cfg *Config) ([]Record, Stats, error) {
+	return core.SemisortWS(&s.ws, a, cfg)
+}

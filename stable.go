@@ -1,0 +1,140 @@
+package semisort
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/rec"
+)
+
+// StableBy is By with a stability guarantee: within each group, items keep
+// their input order. (The group order itself remains unspecified — a total
+// group order would be sorting, which semisorting deliberately avoids.)
+//
+// Stability costs one extra pass that orders each run by original index;
+// runs are sorted in parallel across groups. A single group containing
+// nearly all records degrades that pass to O(n log n) sequential, like any
+// comparison post-sort would.
+func StableBy[T any, K comparable](items []T, key func(T) K, cfg *Config) ([]T, error) {
+	perm, err := stablePermutationBy(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(items))
+	procs := 0
+	if cfg != nil {
+		procs = cfg.Procs
+	}
+	parallel.For(procs, len(items), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = items[perm[i]]
+		}
+	})
+	return out, nil
+}
+
+// StableRecords semisorts pre-hashed records with input order preserved
+// inside each group (Value is treated as payload, not order; the original
+// positions are tracked internally).
+func StableRecords(a []Record, cfg *Config) ([]Record, error) {
+	n := len(a)
+	tagged := make([]rec.Record, n)
+	procs := 0
+	if cfg != nil {
+		procs = cfg.Procs
+	}
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tagged[i] = rec.Record{Key: a[i].Key, Value: uint64(i)}
+		}
+	})
+	out, _, err := core.Semisort(tagged, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sortRunsByValue(procs, out)
+	result := make([]Record, n)
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			result[i] = a[out[i].Value]
+		}
+	})
+	return result, nil
+}
+
+// stablePermutationBy is permutationBy followed by ordering each run of
+// equal hashes by original index.
+func stablePermutationBy[T any, K comparable](items []T, key func(T) K, cfg *Config) ([]uint64, error) {
+	n := len(items)
+	procs := 0
+	if cfg != nil {
+		procs = cfg.Procs
+	}
+	// Reuse the collision-checked grouping machinery, but keep the records
+	// so runs can be located by hash.
+	recs, err := groupedRecords(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sortRunsByValue(procs, recs)
+	perm := make([]uint64, n)
+	parallel.For(procs, n, 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			perm[i] = recs[i].Value
+		}
+	})
+	return perm, nil
+}
+
+// sortRunsByValue orders every run of equal keys by ascending Value, in
+// parallel across runs.
+func sortRunsByValue(procs int, a []rec.Record) {
+	// Collect run boundaries sequentially (cheap), sort runs in parallel.
+	type span struct{ lo, hi int }
+	var runs []span
+	i := 0
+	for i < len(a) {
+		j := i + 1
+		for j < len(a) && a[j].Key == a[i].Key {
+			j++
+		}
+		if j-i > 1 {
+			runs = append(runs, span{i, j})
+		}
+		i = j
+	}
+	parallel.ForEach(procs, len(runs), 1, func(r int) {
+		seg := a[runs[r].lo:runs[r].hi]
+		sort.Slice(seg, func(x, y int) bool { return seg[x].Value < seg[y].Value })
+	})
+}
+
+// groupedRecords hashes the items' keys, semisorts the (hash, index)
+// records and verifies no cross-key hash collisions, retrying with a fresh
+// seed when one is found. It returns the semisorted records.
+func groupedRecords[T any, K comparable](items []T, key func(T) K, cfg *Config) ([]rec.Record, error) {
+	perm, err := permutationBy(items, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// permutationBy returns only the permutation; rebuild records with the
+	// run structure implied by it: consecutive equal keys.
+	n := len(items)
+	procs := 0
+	if cfg != nil {
+		procs = cfg.Procs
+	}
+	out := make([]rec.Record, n)
+	// Assign ascending synthetic keys per run so sortRunsByValue sees the
+	// same grouping without re-hashing.
+	runKey := uint64(0)
+	for i := 0; i < n; i++ {
+		if i > 0 && key(items[perm[i]]) != key(items[perm[i-1]]) {
+			runKey++
+		}
+		out[i] = rec.Record{Key: runKey, Value: perm[i]}
+	}
+	_ = procs
+	return out, nil
+}

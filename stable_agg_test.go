@@ -1,0 +1,220 @@
+package semisort
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStableByPreservesGroupOrder(t *testing.T) {
+	type ev struct {
+		user string
+		seq  int
+	}
+	r := rand.New(rand.NewSource(3))
+	users := []string{"alice", "bob", "carol", "dave", "erin"}
+	events := make([]ev, 20000)
+	for i := range events {
+		events[i] = ev{user: users[r.Intn(len(users))], seq: i}
+	}
+	out, err := StableBy(events, func(e ev) string { return e.user }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(events) {
+		t.Fatalf("length %d", len(out))
+	}
+	// Within each user's group, seq must be strictly increasing, and
+	// groups must be contiguous.
+	seen := map[string]bool{}
+	for i := 0; i < len(out); {
+		u := out[i].user
+		if seen[u] {
+			t.Fatalf("group for %s split", u)
+		}
+		seen[u] = true
+		last := -1
+		for i < len(out) && out[i].user == u {
+			if out[i].seq <= last {
+				t.Fatalf("user %s out of order: %d after %d", u, out[i].seq, last)
+			}
+			last = out[i].seq
+			i++
+		}
+	}
+}
+
+func TestStableByQuick(t *testing.T) {
+	prop := func(keys []uint8) bool {
+		type item struct {
+			k   uint8
+			pos int
+		}
+		items := make([]item, len(keys))
+		for i, k := range keys {
+			items[i] = item{k: k % 11, pos: i}
+		}
+		out, err := StableBy(items, func(v item) uint8 { return v.k }, nil)
+		if err != nil || len(out) != len(items) {
+			return false
+		}
+		seen := map[uint8]bool{}
+		for i := 0; i < len(out); {
+			k := out[i].k
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			last := -1
+			for i < len(out) && out[i].k == k {
+				if out[i].pos <= last {
+					return false
+				}
+				last = out[i].pos
+				i++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStableRecords(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := make([]Record, 30000)
+	for i := range a {
+		a[i] = Record{Key: uint64(r.Intn(40)) * 0x9e3779b97f4a7c15, Value: uint64(i)}
+	}
+	out, err := StableRecords(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSemisorted(out) {
+		t.Fatal("not semisorted")
+	}
+	// Stability: Values (original indices here) ascend within runs.
+	Runs(out, func(s, e int) {
+		for i := s + 1; i < e; i++ {
+			if out[i].Value <= out[i-1].Value {
+				t.Fatalf("run not stable at %d", i)
+			}
+		}
+	})
+}
+
+func TestStableRecordsEmpty(t *testing.T) {
+	out, err := StableRecords(nil, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty: %v %v", out, err)
+	}
+}
+
+func TestCountBy(t *testing.T) {
+	items := []string{"a", "b", "a", "c", "a", "b"}
+	got, err := CountBy(items, func(s string) string { return s }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != 3 || got["b"] != 2 || got["c"] != 1 || len(got) != 3 {
+		t.Errorf("CountBy = %v", got)
+	}
+}
+
+func TestSumBy(t *testing.T) {
+	type sale struct {
+		region string
+		amount float64
+	}
+	sales := []sale{
+		{"east", 10}, {"west", 5}, {"east", 2.5}, {"west", 1},
+	}
+	got, err := SumBy(sales, func(s sale) string { return s.region }, func(s sale) float64 { return s.amount }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["east"] != 12.5 || got["west"] != 6 {
+		t.Errorf("SumBy = %v", got)
+	}
+}
+
+func TestReduceBy(t *testing.T) {
+	words := []string{"x", "yy", "x", "zzz", "yy", "x"}
+	// Per word, accumulate total rune length of all occurrences.
+	got, err := ReduceBy(words, func(s string) string { return s },
+		func(acc int, s string) int { return acc + len(s) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["x"] != 3 || got["yy"] != 4 || got["zzz"] != 3 {
+		t.Errorf("ReduceBy = %v", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	items := []int{5, 1, 5, 2, 1, 5}
+	got, err := Distinct(items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Distinct = %v", got)
+	}
+	set := map[int]bool{}
+	for _, v := range got {
+		set[v] = true
+	}
+	if !set[5] || !set[1] || !set[2] {
+		t.Errorf("Distinct = %v", got)
+	}
+}
+
+func TestDistinctEmpty(t *testing.T) {
+	got, err := Distinct([]string{}, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Distinct empty = %v %v", got, err)
+	}
+}
+
+func TestMaxBy(t *testing.T) {
+	type score struct {
+		team string
+		pts  int
+	}
+	scores := []score{
+		{"red", 3}, {"blue", 9}, {"red", 7}, {"blue", 2}, {"red", 7},
+	}
+	got, err := MaxBy(scores, func(s score) string { return s.team }, func(s score) int { return s.pts }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["red"].pts != 7 || got["blue"].pts != 9 {
+		t.Errorf("MaxBy = %v", got)
+	}
+}
+
+func TestAggLargeConsistency(t *testing.T) {
+	// CountBy must agree with a plain map on a large skewed input.
+	r := rand.New(rand.NewSource(11))
+	items := make([]int, 150000)
+	for i := range items {
+		items[i] = r.Intn(r.Intn(2000) + 1)
+	}
+	want := map[int]int{}
+	for _, v := range items {
+		want[v]++
+	}
+	got, err := CountBy(items, func(v int) int { return v }, &Config{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct = %d, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("count[%d] = %d, want %d", k, got[k], c)
+		}
+	}
+}
