@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz repro repro-quick examples clean
+.PHONY: all build vet test race cover bench fuzz check repro repro-quick examples clean
 
 all: build vet test
+
+# check is the CI gate: build, vet, and the full test suite (including the
+# fault-injection matrix) under the race detector.
+check: build vet
+	$(GO) test -race -short ./...
 
 build:
 	$(GO) build ./...

@@ -9,7 +9,7 @@
 //	semibench -experiment table4 -sizes 1e6,2e6,5e6 -reps 5
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5
-// seqbaselines ablation all.
+// seqbaselines rrcompare schedulers ablation faults all.
 package main
 
 import (
@@ -37,12 +37,14 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 	"rrcompare":    bench.RunRRCompare,
 	"schedulers":   bench.RunSchedulers,
 	"ablation":     bench.RunAblation,
+	"faults":       bench.RunFaults,
 }
 
 // order fixes a deterministic run order for -experiment all.
 var order = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "seqbaselines", "rrcompare", "schedulers", "ablation",
+	"faults",
 }
 
 func main() {

@@ -103,26 +103,38 @@ func readRecords(path string) ([]semisort.Record, error) {
 	return recs, nil
 }
 
-func writeRecords(path string, recs []semisort.Record) error {
-	f, err := os.Create(path)
+// writeRecords writes atomically: records go to a temporary file that is
+// renamed over path only after a successful flush and close, so a failure
+// mid-write (full disk, interrupt) never leaves a truncated output file —
+// and never clobbers a pre-existing one.
+func writeRecords(path string, recs []semisort.Record) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	w := bufio.NewWriterSize(f, 1<<20)
 	var buf [16]byte
 	for _, r := range recs {
 		binary.LittleEndian.PutUint64(buf[0:8], r.Key)
 		binary.LittleEndian.PutUint64(buf[8:16], r.Value)
-		if _, err := w.Write(buf[:]); err != nil {
-			f.Close()
+		if _, err = w.Write(buf[:]); err != nil {
 			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
+	if err = w.Flush(); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatalf(format string, args ...any) {

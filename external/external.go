@@ -26,8 +26,16 @@ import (
 
 	semisort "repro"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/rec"
 )
+
+// ErrClosed is returned (wrapped) by operations on a closed Shuffler.
+var ErrClosed = errors.New("external: shuffler closed")
+
+// ctxCheckEvery is how many Adds pass between cancellation checks when the
+// semisort Config carries a Context; spilling stays branch-cheap.
+const ctxCheckEvery = 1024
 
 // Config controls the shuffler.
 type Config struct {
@@ -65,6 +73,10 @@ func (c *Config) withDefaults() Config {
 
 // Shuffler accumulates records, spilling them to partition files, and then
 // emits all groups. Not safe for concurrent use.
+//
+// A spill-write failure is sticky: the failing Add (or AddBatch) reports it,
+// and every later operation returns the same error rather than spilling more
+// records to a shuffle that can no longer complete.
 type Shuffler struct {
 	cfg    Config
 	shift  uint
@@ -74,6 +86,7 @@ type Shuffler struct {
 	counts []int64
 	n      int64
 	closed bool
+	err    error // first spill failure; sticky
 }
 
 // NewShuffler creates the spill directory and partition files.
@@ -101,36 +114,66 @@ func NewShuffler(cfg *Config) (*Shuffler, error) {
 			return nil, fmt.Errorf("external: create partition: %w", err)
 		}
 		s.files[p] = f
-		s.bufs[p] = bufio.NewWriterSize(f, c.BufferRecords*16)
+		// The fault wrapper sits under bufio so an injected SpillWrite
+		// fault surfaces exactly where a real disk error would: on the
+		// flush that pushes buffered records to the file.
+		s.bufs[p] = bufio.NewWriterSize(fault.Writer(f), c.BufferRecords*16)
 	}
 	return s, nil
 }
 
-// Add spills one record to its partition.
+// Add spills one record to its partition. After Close it returns an error
+// wrapping ErrClosed; after a spill failure it keeps returning that failure.
 func (s *Shuffler) Add(r semisort.Record) error {
-	if s.closed {
-		return errors.New("external: Add after Close")
+	if err := s.usable("Add"); err != nil {
+		return err
+	}
+	if s.n%ctxCheckEvery == 0 && s.cfg.Semisort.Context != nil {
+		if err := s.cfg.Semisort.Context.Err(); err != nil {
+			return fmt.Errorf("external: Add canceled: %w", err)
+		}
 	}
 	p := int(r.Key >> s.shift)
 	var buf [16]byte
 	binary.LittleEndian.PutUint64(buf[0:8], r.Key)
 	binary.LittleEndian.PutUint64(buf[8:16], r.Value)
 	if _, err := s.bufs[p].Write(buf[:]); err != nil {
-		return fmt.Errorf("external: spill: %w", err)
+		s.err = fmt.Errorf("external: spill to partition %d (%s): %w",
+			p, s.partName(p), err)
+		return s.err
 	}
 	s.counts[p]++
 	s.n++
 	return nil
 }
 
-// AddBatch spills a batch of records.
+// AddBatch spills a batch of records. On failure the error reports the
+// index of the record that failed; records before it were spilled (and are
+// counted by Len), records after it were not.
 func (s *Shuffler) AddBatch(recs []semisort.Record) error {
-	for _, r := range recs {
+	for i, r := range recs {
 		if err := s.Add(r); err != nil {
-			return err
+			return fmt.Errorf("record %d of %d: %w", i, len(recs), err)
 		}
 	}
 	return nil
+}
+
+// usable reports why an operation cannot proceed: the shuffler was closed,
+// or an earlier spill failed (sticky).
+func (s *Shuffler) usable(op string) error {
+	if s.closed {
+		return fmt.Errorf("external: %s: %w", op, ErrClosed)
+	}
+	return s.err
+}
+
+// partName returns the spill filename of partition p for error messages.
+func (s *Shuffler) partName(p int) string {
+	if s.files[p] != nil {
+		return s.files[p].Name()
+	}
+	return fmt.Sprintf("part-%04d", p)
 }
 
 // Len returns the number of records spilled so far.
@@ -142,17 +185,18 @@ func (s *Shuffler) Len() int64 { return s.n }
 // Returning a non-nil error from fn aborts the iteration. The spill files
 // are removed afterwards regardless of outcome.
 func (s *Shuffler) ForEachGroup(fn func(key uint64, group []semisort.Record) error) error {
-	if s.closed {
-		return errors.New("external: ForEachGroup after Close")
+	if err := s.usable("ForEachGroup"); err != nil {
+		return err
 	}
 	defer s.Close()
 
 	for p := range s.bufs {
-		if err := s.bufs[p].Flush(); err != nil {
-			return fmt.Errorf("external: flush partition %d: %w", p, err)
+		if err := s.flushPartition(p); err != nil {
+			return err
 		}
 	}
 
+	ctx := s.cfg.Semisort.Context
 	sorter := core.Workspace{}
 	var partition []rec.Record
 	for p := range s.files {
@@ -160,17 +204,22 @@ func (s *Shuffler) ForEachGroup(fn func(key uint64, group []semisort.Record) err
 		if cnt == 0 {
 			continue
 		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("external: canceled before partition %d: %w", p, err)
+			}
+		}
 		if int64(cap(partition)) < cnt {
 			partition = make([]rec.Record, cnt)
 		}
 		partition = partition[:cnt]
-		if err := readPartition(s.files[p], partition); err != nil {
-			return fmt.Errorf("external: read partition %d: %w", p, err)
+		if err := s.readPartition(p, partition); err != nil {
+			return err
 		}
 		cfg := s.cfg.Semisort
 		out, _, err := core.SemisortWS(&sorter, partition, &cfg)
 		if err != nil {
-			return fmt.Errorf("external: semisort partition %d: %w", p, err)
+			return fmt.Errorf("external: semisort partition %d (%s): %w", p, s.partName(p), err)
 		}
 		var ferr error
 		rec.Runs(out, func(start, end int) {
@@ -186,16 +235,44 @@ func (s *Shuffler) ForEachGroup(fn func(key uint64, group []semisort.Record) err
 	return nil
 }
 
-// readPartition reads exactly len(dst) records from the start of f.
-func readPartition(f *os.File, dst []rec.Record) error {
-	if _, err := f.Seek(0, 0); err != nil {
-		return err
+// flushPartition pushes partition p's buffered records to disk and verifies
+// the file holds exactly the records counted for it, so a short write (a
+// full disk slipping past bufio, an injected fault) is reported here — with
+// the partition named — rather than as a confusing truncation at read time.
+func (s *Shuffler) flushPartition(p int) error {
+	if err := s.bufs[p].Flush(); err != nil {
+		return fmt.Errorf("external: flush partition %d (%s): %w", p, s.partName(p), err)
 	}
-	r := bufio.NewReaderSize(f, 1<<20)
+	info, err := s.files[p].Stat()
+	if err != nil {
+		return fmt.Errorf("external: stat partition %d (%s): %w", p, s.partName(p), err)
+	}
+	if want := s.counts[p] * 16; info.Size() != want {
+		return fmt.Errorf("external: partition %d (%s) holds %d bytes after flush, want %d (%d records): spill incomplete",
+			p, s.partName(p), info.Size(), want, s.counts[p])
+	}
+	return nil
+}
+
+// readPartition reads exactly counts[p] records back from partition p,
+// distinguishing truncated or corrupt spill files from other read errors.
+func (s *Shuffler) readPartition(p int, dst []rec.Record) error {
+	f := s.files[p]
+	if _, err := f.Seek(0, 0); err != nil {
+		return fmt.Errorf("external: rewind partition %d (%s): %w", p, s.partName(p), err)
+	}
+	// The fault wrapper sits over bufio: an injected SpillRead fault cuts
+	// the stream short exactly like a truncated file would.
+	r := fault.Reader(bufio.NewReaderSize(f, 1<<20))
 	var buf [16]byte
 	for i := range dst {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return err
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("external: partition %d (%s) truncated: got %d of %d records: %w",
+					p, s.partName(p), i, len(dst), io.ErrUnexpectedEOF)
+			}
+			return fmt.Errorf("external: read partition %d (%s) at record %d: %w",
+				p, s.partName(p), i, err)
 		}
 		dst[i] = rec.Record{
 			Key:   binary.LittleEndian.Uint64(buf[0:8]),

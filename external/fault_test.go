@@ -1,0 +1,177 @@
+package external
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	semisort "repro"
+	"repro/internal/fault"
+)
+
+func TestShuffleAddAfterCloseErrClosed(t *testing.T) {
+	sh, err := NewShuffler(&Config{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Add(semisort.Record{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Add after Close: err = %v, want ErrClosed", err)
+	}
+	if err := sh.AddBatch(mkRecords(3, 2, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddBatch after Close: err = %v, want ErrClosed", err)
+	}
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("ForEachGroup after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestShuffleSpillWriteFaultIsSticky(t *testing.T) {
+	sh, err := NewShuffler(&Config{TempDir: t.TempDir(), Partitions: 2, BufferRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	// The tiny buffer flushes every 4 records; fail the first flush that
+	// reaches the file.
+	fault.Enable(fault.New(1).Arm(fault.SpillWrite, 0, 1))
+	defer fault.Disable()
+
+	recs := mkRecords(1000, 10, 2)
+	err = sh.AddBatch(recs)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("AddBatch with failing spill: err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "record ") || !strings.Contains(err.Error(), "partition") {
+		t.Errorf("error lacks record index or partition context: %v", err)
+	}
+	lenAtFailure := sh.Len()
+
+	// The failure must be sticky: no further spilling, Len frozen.
+	if err := sh.Add(recs[0]); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("Add after spill failure: err = %v, want the sticky error", err)
+	}
+	if sh.Len() != lenAtFailure {
+		t.Errorf("Len moved from %d to %d after sticky failure", lenAtFailure, sh.Len())
+	}
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("ForEachGroup after spill failure: err = %v, want the sticky error", err)
+	}
+}
+
+func TestShuffleFlushFaultNamesPartition(t *testing.T) {
+	sh, err := NewShuffler(&Config{TempDir: t.TempDir(), Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(mkRecords(1000, 10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// With the default (large) buffer the records only reach the files on
+	// the ForEachGroup flush; fail that.
+	fault.Enable(fault.New(1).Arm(fault.SpillWrite, 0, 1))
+	defer fault.Disable()
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "flush partition") || !strings.Contains(err.Error(), "part-") {
+		t.Errorf("flush error lacks partition context: %v", err)
+	}
+}
+
+func TestShuffleReadTruncationDetected(t *testing.T) {
+	sh, err := NewShuffler(&Config{TempDir: t.TempDir(), Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(mkRecords(5000, 50, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the second Read of the read-back: the stream ends mid-partition,
+	// exactly like a truncated spill file.
+	fault.Enable(fault.New(1).Arm(fault.SpillRead, 1, 1))
+	defer fault.Disable()
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if !strings.Contains(err.Error(), "truncated") || !strings.Contains(err.Error(), "part-0000") {
+		t.Errorf("truncation error lacks context: %v", err)
+	}
+}
+
+func TestShuffleCorruptSpillFile(t *testing.T) {
+	// Truncate a spill file behind the shuffler's back: the read-back must
+	// report a truncation error naming the partition, not crash or emit a
+	// short group silently.
+	sh, err := NewShuffler(&Config{TempDir: t.TempDir(), Partitions: 1, BufferRecords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := mkRecords(100, 5, 5)
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file and rewind the write offset (as a crashed or clobbered
+	// writer would leave it), so the lost tail cannot be papered over by
+	// the final flush extending the file past the truncation point.
+	if err := sh.files[0].Truncate(50 * 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.files[0].Seek(50*16, 0); err != nil {
+		t.Fatal(err)
+	}
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
+	if err == nil {
+		t.Fatal("corrupt spill file went undetected")
+	}
+	if !strings.Contains(err.Error(), "part-0000") {
+		t.Errorf("corruption error does not name the file: %v", err)
+	}
+}
+
+func TestShuffleCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := &Config{TempDir: t.TempDir(), Partitions: 4}
+	cfg.Semisort.Context = ctx
+	sh, err := NewShuffler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if err := sh.AddBatch(mkRecords(2000, 20, 6)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Add checks the context every ctxCheckEvery records; push past the
+	// next boundary.
+	var aerr error
+	for i := 0; i < ctxCheckEvery+1 && aerr == nil; i++ {
+		aerr = sh.Add(semisort.Record{Key: uint64(i)})
+	}
+	if !errors.Is(aerr, context.Canceled) {
+		t.Errorf("Add under canceled context: err = %v, want context.Canceled", aerr)
+	}
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ForEachGroup under canceled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestShuffleSemisortFallbackStillGroups(t *testing.T) {
+	// Force every in-memory semisort attempt to overflow: the shuffle must
+	// still produce exact groups via the sequential fallback.
+	fault.Enable(fault.New(1).Arm(fault.ScatterOverflow, 0, 1000))
+	defer fault.Disable()
+	recs := mkRecords(20000, 200, 7)
+	groups := collectGroups(t, &Config{TempDir: t.TempDir(), Partitions: 4}, recs)
+	verifyGroups(t, recs, groups)
+}

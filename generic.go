@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/rec"
 )
@@ -27,12 +28,25 @@ const genericRetries = 4
 // equal to anything, including itself. Matching Go map semantics (and
 // maphash.Comparable, which hashes each NaN occurrence differently), every
 // NaN-keyed item therefore lands in its own singleton group.
-func By[T any, K comparable](items []T, key func(T) K, cfg *Config) ([]T, error) {
+//
+// By is panic-safe: a panic in key while it runs on a parallel worker is
+// captured and returned as an error wrapping *PanicError, carrying the
+// original panic value and the worker stack.
+func By[T any, K comparable](items []T, key func(T) K, cfg *Config) (out []T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*parallel.PanicError)
+			if !ok {
+				panic(r) // not from a fork–join worker; let it crash
+			}
+			out, err = nil, fmt.Errorf("semisort: panic in user callback: %w", pe)
+		}
+	}()
 	perm, err := permutationBy(items, key, cfg)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]T, len(items))
+	out = make([]T, len(items))
 	procs := 0
 	if cfg != nil {
 		procs = cfg.Procs
@@ -126,6 +140,9 @@ func permutationBy[T any, K comparable](items []T, key func(T) K, cfg *Config) (
 // distinct original keys. Equal hashes are contiguous after the semisort,
 // so comparing neighbors suffices.
 func hasCollision[T any, K comparable](procs int, out []rec.Record, items []T, key func(T) K) bool {
+	if fault.Should(fault.HashCollision) {
+		return true
+	}
 	n := len(out)
 	var collided atomic.Bool
 	parallel.For(procs, n, 8192, func(lo, hi int) {

@@ -31,18 +31,22 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/hash"
 	"repro/internal/hashtable"
 	"repro/internal/parallel"
 	"repro/internal/prim"
 	"repro/internal/rec"
+	"repro/internal/seqsemi"
 	"repro/internal/sortcmp"
 	"repro/internal/sortint"
 )
@@ -116,12 +120,27 @@ type Config struct {
 	LocalSort LocalSortKind
 	// Probe selects the Phase 3 collision strategy.
 	Probe ProbeKind
-	// MaxRetries bounds Las Vegas restarts after bucket overflow. Each
-	// retry doubles Slack. Default 4.
+	// MaxRetries bounds Las Vegas restarts after bucket overflow. The
+	// retry policy is adaptive: the first restarts regrow only the
+	// buckets that overflowed (keeping the same sample); persistent
+	// overflow escalates to a fresh sample with doubled Slack. Default 4.
 	MaxRetries int
 	// Seed makes runs reproducible; retries derive fresh randomness from
 	// it deterministically.
 	Seed uint64
+	// Context, when non-nil, cancels the semisort cooperatively. It is
+	// checked at every phase boundary and at parallel-for chunk
+	// boundaries (never per record), so the hot path is unaffected. On
+	// cancellation the returned error wraps Context.Err().
+	Context context.Context
+	// MaxSlotBytes caps the bucket slot memory (16 bytes per slot) any
+	// attempt may allocate. An attempt whose estimate exceeds the cap
+	// degrades to the sequential fallback instead of allocating.
+	// 0 means no cap.
+	MaxSlotBytes int64
+	// DisableFallback makes retry exhaustion return ErrOverflow instead
+	// of degrading to the deterministic sequential semisort.
+	DisableFallback bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -178,12 +197,36 @@ type Stats struct {
 	EffectiveSlack  float64    // slack used by the successful attempt
 	Phases          PhaseTimes // per-phase wall-clock breakdown
 	MaxProbeCluster int        // longest probe run observed in Phase 3
+
+	// Recovery bookkeeping (all zero on a clean first-attempt success).
+	Attempts          int  // scatter attempts executed (Retries+1)
+	OverflowedBuckets int  // bucket overflows observed, summed over failed attempts
+	OverflowDeficit   int  // records seen failing placement across failed attempts
+	FallbackUsed      bool // output came from the sequential fallback
 }
 
-// ErrOverflow is returned (wrapped) only when MaxRetries attempts all
-// overflowed a bucket; with the default configuration its probability is
-// astronomically small.
+// ErrOverflow is the sentinel wrapped by overflow-related errors. It
+// escapes SemisortWS only when DisableFallback is set and MaxRetries
+// attempts all overflowed; with fallback enabled (the default) retry
+// exhaustion degrades to the sequential semisort instead.
 var ErrOverflow = errors.New("semisort: bucket overflow")
+
+// errSlotCap aborts an attempt whose size estimate exceeds
+// Config.MaxSlotBytes; SemisortWS reacts by degrading to the fallback.
+var errSlotCap = errors.New("semisort: slot memory cap exceeded")
+
+// overflowError is an ErrOverflow carrying which buckets overflowed and
+// how many failed placements were observed, so the retry can regrow only
+// the deficient region.
+type overflowError struct {
+	buckets map[int32]int32 // bucket id → failed placements observed
+}
+
+func (e *overflowError) Error() string {
+	return fmt.Sprintf("%v (%d buckets deficient)", ErrOverflow, len(e.buckets))
+}
+
+func (e *overflowError) Unwrap() error { return ErrOverflow }
 
 // A Workspace holds the algorithm's scratch buffers (sample arrays, slot
 // array, occupancy flags) so repeated semisorts can reuse memory instead of
@@ -226,25 +269,138 @@ func Semisort(a []rec.Record, cfg *Config) ([]rec.Record, Stats, error) {
 
 // SemisortWS is Semisort with a caller-managed scratch workspace. A nil ws
 // allocates a private workspace for this call.
-func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) ([]rec.Record, Stats, error) {
+//
+// Failure handling (see DESIGN.md, "Failure model & recovery guarantees"):
+// bucket overflow retries adaptively up to MaxRetries attempts — the first
+// restarts keep the sample and regrow only the overflowed buckets, then
+// escalation resamples with doubled slack — and exhaustion degrades to the
+// deterministic sequential semisort unless DisableFallback is set. A panic
+// on a fork–join worker (e.g. out of memory in one chunk) is returned as
+// an error wrapping *parallel.PanicError. A canceled Config.Context
+// returns an error wrapping the context's error.
+func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, stats Stats, err error) {
 	if ws == nil {
 		ws = &Workspace{}
 	}
 	c := cfg.withDefaults()
-	var stats Stats
-	for attempt := 0; ; attempt++ {
-		out, s, err := semisortOnce(ws, a, c, attempt)
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*parallel.PanicError)
+			if !ok {
+				panic(r) // not from a fork–join worker; let it crash
+			}
+			out, err = nil, fmt.Errorf("semisort: worker panic: %w", pe)
+		}
+	}()
+
+	var (
+		boost            map[int32]float64 // bucket id → size multiplier
+		boostRetries     int               // boosted retries on the current sample
+		sampleAttempt    int               // bumped only when we resample
+		overflowBuckets  int
+		overflowDeficit  int
+		capHit           bool
+	)
+	for attempt := 0; attempt < c.MaxRetries; attempt++ {
+		if cerr := ctxErr(c.Context); cerr != nil {
+			return nil, stats, fmt.Errorf("semisort: canceled: %w", cerr)
+		}
+		res, s, oerr := semisortOnce(ws, a, c, sampleAttempt, attempt, boost)
 		s.Retries = attempt
+		s.Attempts = attempt + 1
 		s.EffectiveSlack = c.Slack
-		if err == nil {
-			return out, s, nil
+		s.OverflowedBuckets = overflowBuckets
+		s.OverflowDeficit = overflowDeficit
+		stats = s
+		if oerr == nil {
+			return res, s, nil
 		}
-		if !errors.Is(err, ErrOverflow) || attempt+1 >= c.MaxRetries {
-			stats = s
-			return nil, stats, fmt.Errorf("semisort failed after %d attempts: %w", attempt+1, err)
+		var of *overflowError
+		switch {
+		case errors.Is(oerr, errSlotCap):
+			capHit = true
+		case errors.As(oerr, &of):
+			overflowBuckets += len(of.buckets)
+			for _, d := range of.buckets {
+				overflowDeficit += int(d)
+			}
+			stats.OverflowedBuckets = overflowBuckets
+			stats.OverflowDeficit = overflowDeficit
+			// Adaptive recovery: regrow only the deficient buckets while
+			// keeping the sample (bucket ids are stable for a fixed
+			// sample), escalating to a fresh sample with doubled slack
+			// when boosting alone does not converge.
+			if boostRetries < 2 && len(of.buckets) > 0 {
+				if boost == nil {
+					boost = make(map[int32]float64, len(of.buckets))
+				}
+				for id := range of.buckets {
+					m := boost[id]
+					if m < 1 {
+						m = 1
+					}
+					boost[id] = m * 4
+				}
+				boostRetries++
+			} else {
+				boost, boostRetries = nil, 0
+				sampleAttempt++
+				c.Slack *= 2
+			}
+		case errors.Is(oerr, ErrOverflow):
+			// Overflow without bucket detail (block-rounds scatter):
+			// classic policy — fresh sample, doubled slack.
+			boost, boostRetries = nil, 0
+			sampleAttempt++
+			c.Slack *= 2
+		default:
+			// Cancellation or an internal invariant violation: not
+			// retryable.
+			return nil, stats, fmt.Errorf("semisort failed after %d attempts: %w", attempt+1, oerr)
 		}
-		c.Slack *= 2
+		if capHit {
+			break
+		}
 	}
+
+	// Graceful degradation: the Las Vegas path is exhausted (or would
+	// exceed the memory cap), so fall back to the deterministic two-phase
+	// sequential semisort, which needs no slack and cannot overflow.
+	if c.DisableFallback {
+		why := "retries exhausted"
+		if capHit {
+			why = "slot memory cap"
+		}
+		return nil, stats, fmt.Errorf("semisort: %s after %d attempts: %w", why, stats.Attempts, ErrOverflow)
+	}
+	if cerr := ctxErr(c.Context); cerr != nil {
+		return nil, stats, fmt.Errorf("semisort: canceled: %w", cerr)
+	}
+	t0 := time.Now()
+	out = seqsemi.TwoPhase(a)
+	stats.Phases.LocalSort += time.Since(t0)
+	stats.FallbackUsed = true
+	return out, stats, nil
+}
+
+// ctxErr is ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// phaseGate marks one of the five phase boundaries: it gives the fault
+// injector its cancellation hook and reports a pending cancellation.
+func phaseGate(ctx context.Context, phase string) error {
+	fault.Should(fault.PhaseBoundary)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("semisort: canceled at %s: %w", phase, err)
+		}
+	}
+	return nil
 }
 
 // bucket describes one slot range: [off, off+sz) in the slot arrays.
@@ -271,7 +427,12 @@ func sizeEstimate(s int, logn float64, c, slack float64, rate int, exact bool) i
 	return 1 << uint(bits.Len(uint(size-1)))
 }
 
-func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.Record, Stats, error) {
+// semisortOnce runs one Las Vegas attempt. sampleAttempt seeds the
+// sampling randomness (stable across boosted retries so bucket ids remain
+// comparable), scatterAttempt seeds the scatter randomness (fresh every
+// attempt), and boost multiplies the size estimate of specific buckets
+// that overflowed on a previous attempt with the same sample.
+func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatterAttempt int, boost map[int32]float64) ([]rec.Record, Stats, error) {
 	n := len(a)
 	var stats Stats
 	stats.N = n
@@ -279,21 +440,27 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 		return []rec.Record{}, stats, nil
 	}
 	procs := c.Procs
+	ctx := c.Context
 	logn := math.Log(math.Max(float64(n), 2))
-	rng := hash.NewRNG(c.Seed + uint64(attempt)*0x9e3779b97f4a7c15 + 1)
+	rng := hash.NewRNG(c.Seed + uint64(sampleAttempt)*0x9e3779b97f4a7c15 + 1)
 
 	// ------------------------------------------------------------------
 	// Phase 1: sampling and sorting.
+	if err := phaseGate(ctx, "sampling"); err != nil {
+		return nil, stats, err
+	}
 	t0 := time.Now()
 	rate := c.SampleRate
 	ns := n / rate
 	sample, sampleScratch := ws.getSample(ns)
-	parallel.For(procs, ns, 4096, func(lo, hi int) {
+	if err := parallel.ForCtx(ctx, procs, ns, 4096, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			j := i*rate + int(rng.RandBounded(uint64(i), uint64(rate)))
 			sample[i] = a[j].Key
 		}
-	})
+	}); err != nil {
+		return nil, stats, fmt.Errorf("semisort: canceled at sampling: %w", err)
+	}
 	if ns > 0 {
 		sortint.SortUint64With(procs, sample, sampleScratch)
 	}
@@ -302,6 +469,9 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 
 	// ------------------------------------------------------------------
 	// Phase 2: bucket construction.
+	if err := phaseGate(ctx, "bucket construction"); err != nil {
+		return nil, stats, err
+	}
 	t0 = time.Now()
 
 	// Offsets of distinct-key runs in the sorted sample.
@@ -379,9 +549,12 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 	emptyKeyBucket := int64(-1)
 	for _, lst := range heavyLists {
 		for _, hr := range lst {
-			size := sizeEstimate(int(hr.count), logn, c.C, c.Slack, rate, c.ExactBucketSizes)
-			b := bucket{off: slotTotal, sz: uint64(size)}
 			id := int64(len(buckets))
+			size := sizeEstimate(int(hr.count), logn, c.C, c.Slack, rate, c.ExactBucketSizes)
+			if m, ok := boost[int32(id)]; ok {
+				size = boostSize(size, m, c.ExactBucketSizes)
+			}
+			b := bucket{off: slotTotal, sz: uint64(size)}
 			buckets = append(buckets, b)
 			slotTotal += int64(size)
 			if hr.key == hashtable.Empty {
@@ -408,8 +581,11 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 				continue
 			}
 			if c.DisableBucketMerging || int(acc) >= c.Delta || atEnd {
-				size := sizeEstimate(int(acc), logn, c.C, c.Slack, rate, c.ExactBucketSizes)
 				id := int32(len(buckets))
+				size := sizeEstimate(int(acc), logn, c.C, c.Slack, rate, c.ExactBucketSizes)
+				if m, ok := boost[id]; ok {
+					size = boostSize(size, m, c.ExactBucketSizes)
+				}
 				buckets = append(buckets, bucket{off: slotTotal, sz: uint64(size)})
 				slotTotal += int64(size)
 				for j := start; j <= i; j++ {
@@ -422,6 +598,12 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 	}
 	numLightMerged := len(buckets) - firstLight
 
+	if c.MaxSlotBytes > 0 && slotTotal*16 > c.MaxSlotBytes {
+		stats.Phases.Buckets = time.Since(t0)
+		return nil, stats, fmt.Errorf("%w: need %d slot bytes, cap %d",
+			errSlotCap, slotTotal*16, c.MaxSlotBytes)
+	}
+
 	slots, occ := ws.getSlots(slotTotal)
 	stats.HeavyKeys = numHeavy
 	stats.LightBuckets = numLightMerged
@@ -430,8 +612,15 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 
 	// ------------------------------------------------------------------
 	// Phase 3: scattering.
+	if err := phaseGate(ctx, "scatter"); err != nil {
+		return nil, stats, err
+	}
 	t0 = time.Now()
-	scatterRNG := hash.NewRNG(c.Seed ^ (uint64(attempt)+1)*0xd1342543de82ef95)
+	scatterRNG := hash.NewRNG(c.Seed ^ (uint64(scatterAttempt)+1)*0xd1342543de82ef95)
+	if fault.Should(fault.ScatterOverflow) {
+		stats.Phases.Scatter = time.Since(t0)
+		return nil, stats, &overflowError{buckets: map[int32]int32{0: 1}}
+	}
 
 	// bucketOf resolves a record to its bucket id and whether it took the
 	// heavy path.
@@ -454,14 +643,34 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 	var heavyPlaced atomic.Int64
 	var maxCluster atomic.Int64
 
+	// Overflow detail: which buckets rejected a record, so the retry can
+	// regrow only those. Failures are terminal for the attempt (each
+	// worker records at most one), so a mutex-protected map is fine.
+	var ofMu sync.Mutex
+	var ofBuckets map[int32]int32
+	recordOverflow := func(bid int64) {
+		ofMu.Lock()
+		if ofBuckets == nil {
+			ofBuckets = make(map[int32]int32)
+		}
+		ofBuckets[int32(bid)]++
+		ofMu.Unlock()
+		overflow.Store(true)
+	}
+
 	if c.Probe == ProbeBlockRounds {
 		if err := scatterBlockRounds(procs, a, buckets, slots, occ, bucketOf,
 			scatterRNG, c.ExactBucketSizes, &heavyPlaced); err != nil {
 			return nil, stats, err
 		}
 	} else {
-		parallel.For(procs, n, 8192, func(lo, hi int) {
+		if err := parallel.ForCtx(ctx, procs, n, 8192, func(lo, hi int) {
 			if overflow.Load() {
+				return
+			}
+			if fault.Should(fault.ProbeSaturation) {
+				bid, _ := bucketOf(a[lo])
+				recordOverflow(bid)
 				return
 			}
 			localHeavy := int64(0)
@@ -494,7 +703,7 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 					}
 				}
 				if !placed {
-					overflow.Store(true)
+					recordOverflow(bid)
 					return
 				}
 			}
@@ -505,9 +714,11 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 					break
 				}
 			}
-		})
+		}); err != nil {
+			return nil, stats, fmt.Errorf("semisort: canceled at scatter: %w", err)
+		}
 		if overflow.Load() {
-			return nil, stats, ErrOverflow
+			return nil, stats, &overflowError{buckets: ofBuckets}
 		}
 	}
 	stats.HeavyRecords = int(heavyPlaced.Load())
@@ -516,9 +727,12 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 
 	// ------------------------------------------------------------------
 	// Phase 4: local sort of light buckets (compact, then semisort).
+	if err := phaseGate(ctx, "local sort"); err != nil {
+		return nil, stats, err
+	}
 	t0 = time.Now()
 	lightCnt := make([]int32, numLightMerged)
-	parallel.ForEach(procs, numLightMerged, 1, func(j int) {
+	lsErr := parallel.ForEachCtx(ctx, procs, numLightMerged, 1, func(j int) {
 		bk := buckets[firstLight+j]
 		lo, hi := bk.off, bk.off+int64(bk.sz)
 		w := lo
@@ -540,10 +754,16 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, attempt int) ([]rec.R
 			sortcmp.Introsort(seg)
 		}
 	})
+	if lsErr != nil {
+		return nil, stats, fmt.Errorf("semisort: canceled at local sort: %w", lsErr)
+	}
 	stats.Phases.LocalSort = time.Since(t0)
 
 	// ------------------------------------------------------------------
 	// Phase 5: packing.
+	if err := phaseGate(ctx, "pack"); err != nil {
+		return nil, stats, err
+	}
 	t0 = time.Now()
 	out := make([]rec.Record, n)
 
@@ -663,6 +883,19 @@ func min64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// boostSize applies a per-bucket retry multiplier to a size estimate,
+// preserving the power-of-two invariant unless exact sizing is on.
+func boostSize(size int, m float64, exact bool) int {
+	s := int(math.Ceil(float64(size) * m))
+	if s < size {
+		s = size
+	}
+	if exact {
+		return s
+	}
+	return 1 << uint(bits.Len(uint(s-1)))
 }
 
 // bucketPos maps a random word to a slot index in [0, size). Power-of-two

@@ -183,9 +183,12 @@ func TestSemisortEmptySentinelKey(t *testing.T) {
 }
 
 func TestSemisortDeterministicForSeed(t *testing.T) {
+	// Exact output determinism holds for sequential execution only: with
+	// multiple workers the scatter's CAS races reorder records within a
+	// group (grouping is still correct, checked everywhere else).
 	a := mkRecords(20000, 100, 6)
-	out1, _, err1 := Semisort(a, &Config{Seed: 42})
-	out2, _, err2 := Semisort(a, &Config{Seed: 42})
+	out1, _, err1 := Semisort(a, &Config{Seed: 42, Procs: 1})
+	out2, _, err2 := Semisort(a, &Config{Seed: 42, Procs: 1})
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -265,16 +268,29 @@ func TestSemisortOverflowRetry(t *testing.T) {
 }
 
 func TestSemisortOverflowExhaustion(t *testing.T) {
-	// With MaxRetries=1 and absurd sizing the failure must surface as
-	// ErrOverflow rather than wrong output.
+	// With MaxRetries=1, absurd sizing and the fallback disabled, the
+	// failure must surface as ErrOverflow rather than wrong output.
 	a := mkRecords(50000, 3, 16) // few huge keys
-	_, _, err := Semisort(a, &Config{Slack: 0.001, C: 0.0001, SampleRate: 50000, MaxRetries: 1})
+	cfg := Config{Slack: 0.001, C: 0.0001, SampleRate: 50000, MaxRetries: 1, DisableFallback: true}
+	_, _, err := Semisort(a, &cfg)
 	if err == nil {
 		t.Skip("sizing survived; cannot force overflow with this input")
 	}
 	if !errors.Is(err, ErrOverflow) {
 		t.Fatalf("error = %v, want ErrOverflow", err)
 	}
+
+	// With the fallback enabled (the default), the same exhaustion must
+	// degrade to the sequential semisort and still return correct output.
+	cfg.DisableFallback = false
+	out, stats, err := Semisort(a, &cfg)
+	if err != nil {
+		t.Fatalf("fallback path errored: %v", err)
+	}
+	if !stats.FallbackUsed {
+		t.Error("stats.FallbackUsed = false after retry exhaustion")
+	}
+	checkSemisorted(t, "overflow fallback", a, out)
 }
 
 func TestSemisortCustomParameters(t *testing.T) {

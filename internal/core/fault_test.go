@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/parallel"
+)
+
+// withInjector enables in for the duration of the test body and guarantees
+// the process-wide injector is removed afterwards even on Fatal.
+func withInjector(t *testing.T, in *fault.Injector) {
+	t.Helper()
+	fault.Enable(in)
+	t.Cleanup(fault.Disable)
+}
+
+// checkNoLeak asserts the goroutine count settles back to within a small
+// slack of base.
+func checkNoLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestInjectedOverflowRetries(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := mkRecords(30000, 100, 7)
+	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 2))
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 4})
+	if err != nil {
+		t.Fatalf("semisort after 2 injected overflows: %v", err)
+	}
+	checkSemisorted(t, "injected overflow", a, out)
+	if stats.Retries != 2 || stats.Attempts != 3 {
+		t.Errorf("Retries=%d Attempts=%d, want 2 and 3", stats.Retries, stats.Attempts)
+	}
+	if stats.OverflowedBuckets < 2 || stats.OverflowDeficit < 2 {
+		t.Errorf("OverflowedBuckets=%d OverflowDeficit=%d, want >= 2 each",
+			stats.OverflowedBuckets, stats.OverflowDeficit)
+	}
+	if stats.FallbackUsed {
+		t.Error("FallbackUsed = true, but the third attempt should have succeeded")
+	}
+	checkNoLeak(t, base)
+}
+
+func TestInjectedProbeSaturationRecovery(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := mkRecords(30000, 100, 9)
+	withInjector(t, fault.New(1).Arm(fault.ProbeSaturation, 0, 1))
+	out, stats, err := Semisort(a, &Config{Procs: 2})
+	if err != nil {
+		t.Fatalf("semisort after injected probe saturation: %v", err)
+	}
+	checkSemisorted(t, "probe saturation", a, out)
+	if stats.Retries < 1 {
+		t.Errorf("Retries = %d, want >= 1", stats.Retries)
+	}
+	if stats.OverflowedBuckets < 1 {
+		t.Errorf("OverflowedBuckets = %d, want >= 1", stats.OverflowedBuckets)
+	}
+	if stats.FallbackUsed {
+		t.Error("FallbackUsed = true for a recoverable saturation")
+	}
+	checkNoLeak(t, base)
+}
+
+func TestInjectedExhaustionFallsBack(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := mkRecords(20000, 50, 11)
+	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 100))
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 3})
+	if err != nil {
+		t.Fatalf("exhaustion with fallback enabled must succeed: %v", err)
+	}
+	checkSemisorted(t, "exhaustion fallback", a, out)
+	if !stats.FallbackUsed {
+		t.Error("FallbackUsed = false after every attempt overflowed")
+	}
+	if stats.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", stats.Attempts)
+	}
+	checkNoLeak(t, base)
+}
+
+func TestInjectedExhaustionDisableFallback(t *testing.T) {
+	a := mkRecords(20000, 50, 11)
+	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 100))
+	out, _, err := Semisort(a, &Config{Procs: 2, MaxRetries: 2, DisableFallback: true})
+	if !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+	if out != nil {
+		t.Error("output non-nil alongside an error")
+	}
+}
+
+func TestSlotCapFallsBack(t *testing.T) {
+	a := mkRecords(30000, 100, 13)
+	// A cap far below the ~n slots any attempt needs: the attempt must
+	// abort before allocating and degrade to the sequential fallback.
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxSlotBytes: 1024})
+	if err != nil {
+		t.Fatalf("slot-capped semisort: %v", err)
+	}
+	checkSemisorted(t, "slot cap", a, out)
+	if !stats.FallbackUsed {
+		t.Error("FallbackUsed = false under an unmeetable slot cap")
+	}
+	if stats.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 (cap abort is not retryable)", stats.Attempts)
+	}
+
+	_, _, err = Semisort(a, &Config{Procs: 2, MaxSlotBytes: 1024, DisableFallback: true})
+	if !errors.Is(err, ErrOverflow) {
+		t.Fatalf("capped + DisableFallback err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestCancellationAtEveryPhaseBoundary(t *testing.T) {
+	base := runtime.NumGoroutine()
+	phases := []string{"sampling", "bucket construction", "scatter", "local sort", "pack"}
+	a := mkRecords(30000, 100, 17)
+	for k, name := range phases {
+		ctx, cancel := context.WithCancel(context.Background())
+		inj := fault.New(1).Arm(fault.PhaseBoundary, k, 1)
+		inj.OnFire(fault.PhaseBoundary, cancel)
+		fault.Enable(inj)
+		out, _, err := Semisort(a, &Config{Procs: 2, Context: ctx})
+		fault.Disable()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel at gate %d (%s): err = %v, want context.Canceled", k, name, err)
+		}
+		if out != nil {
+			t.Errorf("cancel at gate %d (%s): output non-nil", k, name)
+		}
+	}
+	checkNoLeak(t, base)
+}
+
+func TestInjectedWorkerPanicSurfacesAsError(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := mkRecords(30000, 100, 19)
+	withInjector(t, fault.New(1).Arm(fault.WorkerPanic, 0, 1))
+	out, _, err := Semisort(a, &Config{Procs: 2})
+	if err == nil {
+		t.Fatal("injected worker panic produced no error")
+	}
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a wrapped *parallel.PanicError", err)
+	}
+	if pe.Value != fault.PanicValue {
+		t.Errorf("panic value = %v, want the injected sentinel", pe.Value)
+	}
+	if out != nil {
+		t.Error("output non-nil alongside a panic error")
+	}
+	checkNoLeak(t, base)
+}
+
+func TestRecoveryDisabledInjectorIsClean(t *testing.T) {
+	// A run right after injection is disabled must behave as if the fault
+	// package were never there.
+	a := mkRecords(20000, 100, 23)
+	out, stats, err := Semisort(a, &Config{Procs: 2})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	checkSemisorted(t, "clean run", a, out)
+	if stats.Retries != 0 || stats.FallbackUsed || stats.OverflowedBuckets != 0 {
+		t.Errorf("clean run shows recovery activity: %+v", stats)
+	}
+}

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisabledShouldIsFalse(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable")
+	}
+	for p := Point(0); p < numPoints; p++ {
+		if Should(p) {
+			t.Errorf("Should(%v) fired with no injector", p)
+		}
+	}
+}
+
+func TestArmFiresExactOccurrences(t *testing.T) {
+	in := New(1).Arm(ScatterOverflow, 2, 3)
+	Enable(in)
+	defer Disable()
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, Should(ScatterOverflow))
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("occurrence %d: fired=%v, want %v", i, got[i], want[i])
+		}
+	}
+	if in.Count(ScatterOverflow) != 8 || in.Fired(ScatterOverflow) != 3 {
+		t.Errorf("count=%d fired=%d, want 8/3", in.Count(ScatterOverflow), in.Fired(ScatterOverflow))
+	}
+}
+
+func TestUnarmedPointsNotCounted(t *testing.T) {
+	in := New(1).Arm(SpillWrite, 0, 1)
+	Enable(in)
+	defer Disable()
+	Should(SpillRead)
+	if in.Count(SpillRead) != 0 {
+		t.Error("unarmed point was counted")
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	fire := func(seed uint64) []bool {
+		in := New(seed).ArmProb(WorkerPanic, 0.5)
+		Enable(in)
+		defer Disable()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Should(WorkerPanic)
+		}
+		return out
+	}
+	a, b := fire(7), fire(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different firing sequence")
+		}
+	}
+	c := fire(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-occurrence sequence")
+	}
+}
+
+func TestOnFireRunsAction(t *testing.T) {
+	var fired int
+	in := New(1).Arm(PhaseBoundary, 1, 1).OnFire(PhaseBoundary, func() { fired++ })
+	Enable(in)
+	defer Disable()
+	for i := 0; i < 4; i++ {
+		Should(PhaseBoundary)
+	}
+	if fired != 1 {
+		t.Errorf("action ran %d times, want 1", fired)
+	}
+}
+
+func TestResetReplays(t *testing.T) {
+	in := New(1).Arm(SpillRead, 0, 1)
+	Enable(in)
+	defer Disable()
+	if !Should(SpillRead) || Should(SpillRead) {
+		t.Fatal("first arm sequence wrong")
+	}
+	in.Reset()
+	if !Should(SpillRead) {
+		t.Error("Reset did not replay the firing sequence")
+	}
+}
+
+func TestWriterInjects(t *testing.T) {
+	Enable(New(1).Arm(SpillWrite, 1, 1))
+	defer Disable()
+	var buf bytes.Buffer
+	w := Writer(&buf)
+	if _, err := w.Write([]byte("ok")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := w.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write err = %v, want ErrInjected", err)
+	}
+	if buf.String() != "ok" {
+		t.Errorf("buffer = %q", buf.String())
+	}
+}
+
+func TestReaderTruncates(t *testing.T) {
+	Enable(New(1).Arm(SpillRead, 1, 1))
+	defer Disable()
+	r := Reader(strings.NewReader("0123456789abcdef"))
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if _, err := io.ReadFull(r, buf); !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("second read err = %v, want EOF-ish", err)
+	}
+}
+
+func TestConcurrentShould(t *testing.T) {
+	in := New(1).Arm(WorkerPanic, 0, 10)
+	Enable(in)
+	defer Disable()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 100; i++ {
+				if Should(WorkerPanic) {
+					local++
+				}
+			}
+			mu.Lock()
+			fired += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if fired != 10 {
+		t.Errorf("fired %d times across goroutines, want exactly 10", fired)
+	}
+	if in.Count(WorkerPanic) != 800 {
+		t.Errorf("count = %d, want 800", in.Count(WorkerPanic))
+	}
+}

@@ -12,12 +12,21 @@
 // load imbalance between chunks is absorbed dynamically (the moral
 // equivalent of work stealing for a flat loop). Run and Limiter provide
 // nested fork–join with a bounded number of extra goroutines.
+//
+// All runtimes are panic-safe: a panic in a body function is captured on
+// the worker, remaining work is drained, and the panic is re-raised on the
+// joining goroutine as a *PanicError carrying the original value and the
+// worker stack. ForCtx/ForEachCtx add cooperative cancellation, checked at
+// chunk boundaries only so the per-iteration hot path is unaffected.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // DefaultProcs returns the worker count used when a caller passes procs <= 0:
@@ -61,17 +70,39 @@ func Grain(n, procs, minGrain int) int {
 //
 // body must be safe to call concurrently from multiple goroutines on
 // disjoint ranges. For blocks until all calls return.
+//
+// For is panic-safe: a panic in body is captured (value + worker stack),
+// remaining chunks are abandoned, the surviving workers are joined, and
+// the panic is re-raised on the calling goroutine as a *PanicError.
 func For(procs, n, grain int, body func(lo, hi int)) {
+	ForCtx(nil, procs, n, grain, body)
+}
+
+// ForCtx is For with cooperative cancellation: the chunk cursor stops
+// handing out chunks once ctx is done and ForCtx returns ctx.Err().
+// Chunks already running complete normally, so cancellation adds no
+// per-iteration cost — it is checked only at chunk boundaries. A nil ctx
+// never cancels. On cancellation body has been called for an arbitrary
+// subset of the chunks.
+func ForCtx(ctx context.Context, procs, n, grain int, body func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return ctxErr(ctx)
 	}
 	procs = Procs(procs)
 	if grain <= 0 {
 		grain = Grain(n, procs, 1)
 	}
-	if procs == 1 || n <= grain {
-		body(0, n)
-		return
+	if ctx == nil && (procs == 1 || n <= grain) {
+		// Sequential fast path: one chunk, no goroutines, no cursor.
+		var fp firstPanic
+		fp.note(capture(func() {
+			if fault.Should(fault.WorkerPanic) {
+				panic(fault.PanicValue)
+			}
+			body(0, n)
+		}))
+		fp.rethrow()
+		return nil
 	}
 	nchunks := (n + grain - 1) / grain
 	workers := procs
@@ -80,26 +111,58 @@ func For(procs, n, grain int, body func(lo, hi int)) {
 	}
 
 	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(cursor.Add(1)) - 1
-				if c >= nchunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
+	var fp firstPanic
+	loop := func() {
+		for {
+			if fp.tripped() || ctxDone(ctx) {
+				return
+			}
+			c := int(cursor.Add(1)) - 1
+			if c >= nchunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fp.note(capture(func() {
+				if fault.Should(fault.WorkerPanic) {
+					panic(fault.PanicValue)
 				}
 				body(lo, hi)
-			}
-		}()
+			}))
+		}
 	}
-	wg.Wait()
+	if workers == 1 {
+		loop()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers - 1)
+		for w := 1; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				loop()
+			}()
+		}
+		loop()
+		wg.Wait()
+	}
+	fp.rethrow()
+	return ctxErr(ctx)
+}
+
+// ctxErr is ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ctxDone reports whether a non-nil ctx has been canceled.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // ForEach runs body(i) for every i in [0, n) in parallel. It is a
@@ -113,13 +176,32 @@ func ForEach(procs, n, grain int, body func(i int)) {
 	})
 }
 
+// ForEachCtx is ForEach with the cancellation semantics of ForCtx.
+func ForEachCtx(ctx context.Context, procs, n, grain int, body func(i int)) error {
+	return ForCtx(ctx, procs, n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
 // Run executes the given functions, possibly in parallel, and waits for all
 // of them. With procs <= 1 the functions run sequentially in order.
+//
+// Run is panic-safe: the first panicking function's panic is re-raised on
+// the calling goroutine as a *PanicError after all spawned functions have
+// been joined (in the sequential case, functions after the panicking one
+// are skipped).
 func Run(procs int, fns ...func()) {
+	var fp firstPanic
 	if Procs(procs) == 1 || len(fns) <= 1 {
 		for _, fn := range fns {
-			fn()
+			fp.note(capture(fn))
+			if fp.tripped() {
+				break
+			}
 		}
+		fp.rethrow()
 		return
 	}
 	var wg sync.WaitGroup
@@ -127,11 +209,12 @@ func Run(procs int, fns ...func()) {
 	for _, fn := range fns[1:] {
 		go func() {
 			defer wg.Done()
-			fn()
+			fp.note(capture(fn))
 		}()
 	}
-	fns[0]()
+	fp.note(capture(fns[0]))
 	wg.Wait()
+	fp.rethrow()
 }
 
 // A Limiter bounds the number of extra goroutines created by nested
@@ -160,11 +243,17 @@ func NewLimiter(procs int) *Limiter {
 func (l *Limiter) Parallel() bool { return l != nil }
 
 // Join runs a and b, in parallel when a token is available, and returns
-// after both complete.
+// after both complete. It is panic-safe: the first branch panic is
+// re-raised on the caller as a *PanicError after both branches joined (a
+// not-yet-started inline b is skipped when a panics).
 func (l *Limiter) Join(a, b func()) {
+	var fp firstPanic
 	if l == nil {
-		a()
-		b()
+		fp.note(capture(a))
+		if !fp.tripped() {
+			fp.note(capture(b))
+		}
+		fp.rethrow()
 		return
 	}
 	select {
@@ -174,23 +263,33 @@ func (l *Limiter) Join(a, b func()) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-l.tokens }()
-			b()
+			fp.note(capture(b))
 		}()
-		a()
+		fp.note(capture(a))
 		wg.Wait()
 	default:
-		a()
-		b()
+		fp.note(capture(a))
+		if !fp.tripped() {
+			fp.note(capture(b))
+		}
 	}
+	fp.rethrow()
 }
 
 // JoinAll runs every function, using tokens to run as many as possible in
-// parallel, and returns after all complete.
+// parallel, and returns after all complete. Panic-safety matches Join:
+// spawned functions always complete; inline functions after the first
+// panic are skipped; the first panic re-raises after the join.
 func (l *Limiter) JoinAll(fns ...func()) {
+	var fp firstPanic
 	if l == nil || len(fns) <= 1 {
 		for _, fn := range fns {
-			fn()
+			fp.note(capture(fn))
+			if fp.tripped() {
+				break
+			}
 		}
+		fp.rethrow()
 		return
 	}
 	var wg sync.WaitGroup
@@ -202,16 +301,20 @@ func (l *Limiter) JoinAll(fns ...func()) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-l.tokens }()
-				fn()
+				fp.note(capture(fn))
 			}()
 		default:
 			inline = append(inline, fn)
 		}
 	}
 	for _, fn := range inline {
-		fn()
+		if fp.tripped() {
+			break
+		}
+		fp.note(capture(fn))
 	}
 	wg.Wait()
+	fp.rethrow()
 }
 
 // A Joiner abstracts binary fork–join so divide-and-conquer algorithms can

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // Pool is a work-stealing fork–join scheduler: the Go analogue of the Cilk
@@ -37,8 +39,11 @@ type Pool struct {
 }
 
 // pooled task state; the flag is set when the task has been executed.
+// pe records a panic captured while running fn (published before done, so
+// the done.Load in waitFor orders the read).
 type task struct {
 	fn   func()
+	pe   *PanicError
 	done atomic.Bool
 }
 
@@ -131,9 +136,22 @@ func (w *worker) run() {
 }
 
 func (w *worker) exec(t *task) {
-	t.fn()
+	w.pool.runTask(t)
+}
+
+// runTask executes t with panic capture, so a panicking task can neither
+// kill a pool worker (which would strand the deque and deadlock joins) nor
+// escape on a goroutine nobody recovers on; waitFor re-raises the capture
+// on the joining goroutine.
+func (p *Pool) runTask(t *task) {
+	t.pe = capture(func() {
+		if fault.Should(fault.WorkerPanic) {
+			panic(fault.PanicValue)
+		}
+		t.fn()
+	})
 	t.done.Store(true)
-	w.pool.pending.Add(-1)
+	p.pending.Add(-1)
 }
 
 // push adds a task to the worker's LIFO end; reports false when full.
@@ -203,9 +221,7 @@ func (p *Pool) submit(t *task) {
 	w := p.workers[rand.IntN(len(p.workers))]
 	if !w.push(t) {
 		// Deque full: run inline on the submitter.
-		t.fn()
-		t.done.Store(true)
-		p.pending.Add(-1)
+		p.runTask(t)
 		return
 	}
 	p.signal()
@@ -227,7 +243,8 @@ func (p *Pool) Go(fn func()) (wait func()) {
 	return func() { p.waitFor(t) }
 }
 
-// waitFor blocks until t has executed, helping with other tasks meanwhile.
+// waitFor blocks until t has executed, helping with other tasks meanwhile,
+// then re-raises any panic t captured on this (joining) goroutine.
 func (p *Pool) waitFor(t *task) {
 	for !t.done.Load() {
 		// Help: run any stealable task to keep the machine busy and to
@@ -235,6 +252,9 @@ func (p *Pool) waitFor(t *task) {
 		if h := p.helpOnce(); !h {
 			runtime.Gosched()
 		}
+	}
+	if t.pe != nil {
+		panic(t.pe)
 	}
 }
 
@@ -246,9 +266,7 @@ func (p *Pool) helpOnce() bool {
 	for i := 0; i < n; i++ {
 		v := p.workers[(start+i)%n]
 		if t := v.stealFrom(); t != nil {
-			t.fn()
-			t.done.Store(true)
-			p.pending.Add(-1)
+			p.runTask(t)
 			return true
 		}
 	}
@@ -256,11 +274,15 @@ func (p *Pool) helpOnce() bool {
 }
 
 // Join runs a and b with fork–join semantics: b is spawned to the pool,
-// a runs inline, then the caller waits (helping) until b completes.
+// a runs inline, then the caller waits (helping) until b completes. It is
+// panic-safe: both branches always complete (the spawned b is joined even
+// when a panics), and the first panic is re-raised as a *PanicError.
 func (p *Pool) Join(a, b func()) {
 	wait := p.Go(b)
-	a()
-	wait()
+	var fp firstPanic
+	fp.note(capture(a))
+	fp.note(capture(wait))
+	fp.rethrow()
 }
 
 // For runs body over [0, n) in parallel on the pool, splitting the range
@@ -283,14 +305,20 @@ func (p *Pool) For(n, grain int, body func(lo, hi int)) {
 		}
 		body(lo, hi)
 	}
-	split(0, n)
+	// The deferred waits inside split join every spawned subtree even while
+	// a panic unwinds, so no task is abandoned; capture normalizes whatever
+	// panic survives the unwind into a *PanicError.
+	var fp firstPanic
+	fp.note(capture(func() { split(0, n) }))
+	fp.rethrow()
 }
 
 // Parallel reports whether the pool can run branches concurrently,
 // satisfying the Joiner interface.
 func (p *Pool) Parallel() bool { return len(p.workers) > 1 }
 
-// JoinAll spawns every function to the pool and waits (helping) for all.
+// JoinAll spawns every function to the pool and waits (helping) for all;
+// the first panic re-raises as a *PanicError after every function joined.
 func (p *Pool) JoinAll(fns ...func()) {
 	if len(fns) == 0 {
 		return
@@ -299,8 +327,10 @@ func (p *Pool) JoinAll(fns ...func()) {
 	for _, fn := range fns[1:] {
 		waits = append(waits, p.Go(fn))
 	}
-	fns[0]()
+	var fp firstPanic
+	fp.note(capture(fns[0]))
 	for _, w := range waits {
-		w()
+		fp.note(capture(w))
 	}
+	fp.rethrow()
 }

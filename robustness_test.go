@@ -1,0 +1,153 @@
+package semisort
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestByPanicInKeyCallback(t *testing.T) {
+	base := runtime.NumGoroutine()
+	items := make([]int, 50000)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := By(items, func(v int) int {
+		if v == 31337 {
+			panic("key callback exploded")
+		}
+		return v % 100
+	}, &Config{Procs: 2})
+	if err == nil {
+		t.Fatal("panicking key callback returned no error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a wrapped *PanicError", err)
+	}
+	if pe.Value != "key callback exploded" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no worker stack captured")
+	}
+	if out != nil {
+		t.Error("output non-nil alongside an error")
+	}
+	settleGoroutines(t, base)
+}
+
+func TestRecordsCtxCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	recs := make([]Record, 100000)
+	for i := range recs {
+		recs[i] = Record{Key: uint64(i % 512), Value: uint64(i)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := RecordsCtx(ctx, recs, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Error("output non-nil alongside cancellation")
+	}
+
+	// An uncanceled context must not change the result.
+	out, err = RecordsCtx(context.Background(), recs, nil)
+	if err != nil {
+		t.Fatalf("uncanceled RecordsCtx: %v", err)
+	}
+	if !IsSemisorted(out) {
+		t.Error("RecordsCtx output not semisorted")
+	}
+	settleGoroutines(t, base)
+}
+
+func TestByInjectedHashCollision(t *testing.T) {
+	items := make([]string, 20000)
+	for i := range items {
+		items[i] = strings.Repeat("k", i%37+1)
+	}
+	key := func(s string) int { return len(s) }
+
+	// One injected collision: the Las Vegas rehash retries with a fresh
+	// seed and the second verification passes.
+	fault.Enable(fault.New(5).Arm(fault.HashCollision, 0, 1))
+	out, err := By(items, key, &Config{Procs: 2})
+	fault.Disable()
+	if err != nil {
+		t.Fatalf("By after one injected collision: %v", err)
+	}
+	seen := map[int]bool{}
+	prev := -1
+	for _, s := range out {
+		if k := key(s); k != prev {
+			if seen[k] {
+				t.Fatalf("key %d appears in two separate groups", k)
+			}
+			seen[k] = true
+			prev = k
+		}
+	}
+
+	// Collisions on every verification: By must give up with a typed
+	// error rather than loop forever or return a wrong grouping.
+	inj := fault.New(5).Arm(fault.HashCollision, 0, 1000)
+	fault.Enable(inj)
+	out, err = By(items, key, &Config{Procs: 2})
+	fault.Disable()
+	if err == nil || !strings.Contains(err.Error(), "hash collision") {
+		t.Fatalf("persistent collisions: err = %v, want hash collision error", err)
+	}
+	if out != nil {
+		t.Error("output non-nil alongside collision exhaustion")
+	}
+	if inj.Fired(fault.HashCollision) < 2 {
+		t.Errorf("collision point fired %d times, want one per retry", inj.Fired(fault.HashCollision))
+	}
+}
+
+func TestRecordsInjectedWorkerPanic(t *testing.T) {
+	base := runtime.NumGoroutine()
+	recs := make([]Record, 50000)
+	for i := range recs {
+		recs[i] = Record{Key: uint64(i % 256), Value: uint64(i)}
+	}
+	fault.Enable(fault.New(1).Arm(fault.WorkerPanic, 0, 1))
+	out, err := Records(recs, &Config{Procs: 2})
+	fault.Disable()
+	if err == nil {
+		t.Fatal("injected worker panic produced no error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a wrapped *PanicError", err)
+	}
+	if out != nil {
+		t.Error("output non-nil alongside a panic error")
+	}
+	settleGoroutines(t, base)
+}

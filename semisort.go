@@ -31,12 +31,26 @@
 // their arrays with atomic claims, locally sorts the small light buckets,
 // and packs everything into one contiguous output. See DESIGN.md and the
 // internal/core package for the full construction.
+//
+// # Failure model
+//
+// All entry points are panic-safe and cancellable: a panic on a parallel
+// worker — including one raised by a user callback passed to By or GroupBy —
+// is captured with its stack and returned as an error wrapping *PanicError,
+// never re-thrown on an unrelated goroutine. RecordsCtx (or Config.Context)
+// cancels cooperatively, checked at phase and chunk boundaries only so the
+// hot path is unaffected. Bucket overflow — the algorithm's Las Vegas
+// failure mode — retries adaptively and, if retries are exhausted, degrades
+// to a deterministic sequential semisort instead of failing. See DESIGN.md,
+// "Failure model & recovery guarantees".
 package semisort
 
 import (
+	"context"
 	"iter"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/rec"
 )
 
@@ -69,8 +83,15 @@ const (
 )
 
 // ErrOverflow is returned (wrapped) if every Las Vegas retry overflowed a
-// bucket; with default configuration this has negligible probability.
+// bucket and Config.DisableFallback is set; with fallback enabled (the
+// default) exhaustion degrades to a sequential semisort instead.
 var ErrOverflow = core.ErrOverflow
+
+// PanicError carries a panic captured on a parallel worker: the original
+// panic value and the worker's stack at the point of panic. Errors returned
+// by this package wrap it when a worker (or a user callback running on one)
+// panicked; unwrap with errors.As.
+type PanicError = parallel.PanicError
 
 // Records returns a new slice containing the records of a with equal keys
 // contiguous. Keys are treated as pre-hashed 64-bit values: records are
@@ -81,8 +102,22 @@ func Records(a []Record, cfg *Config) ([]Record, error) {
 	return out, err
 }
 
+// RecordsCtx is Records with cooperative cancellation: ctx is checked at
+// phase boundaries and parallel-for chunk boundaries (never per record).
+// On cancellation the returned error wraps ctx.Err(). It overrides any
+// Context already set in cfg; cfg itself is not modified.
+func RecordsCtx(ctx context.Context, a []Record, cfg *Config) ([]Record, error) {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	c.Context = ctx
+	out, _, err := core.Semisort(a, &c)
+	return out, err
+}
+
 // RecordsWithStats is Records plus the execution statistics (per-phase
-// times, heavy/light breakdown, retries).
+// times, heavy/light breakdown, retries, recovery bookkeeping).
 func RecordsWithStats(a []Record, cfg *Config) ([]Record, Stats, error) {
 	return core.Semisort(a, cfg)
 }
