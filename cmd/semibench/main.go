@@ -7,9 +7,12 @@
 //	semibench -experiment table1 -n 1000000  # one experiment at a size
 //	semibench -experiment fig2 -procs 1,2,4,8,16
 //	semibench -experiment table4 -sizes 1e6,2e6,5e6 -reps 5
+//	semibench -experiment observe -trace trace.json  # instrumented run + JSON trace
+//	semibench -baseline BENCH_semisort.json -n 2e5 -procs 2 -reps 5   # store baseline
+//	semibench -compare BENCH_semisort.json                            # CI perf gate
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5
-// seqbaselines rrcompare schedulers ablation faults all.
+// seqbaselines rrcompare schedulers ablation faults observe all.
 package main
 
 import (
@@ -38,13 +41,14 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 	"schedulers":   bench.RunSchedulers,
 	"ablation":     bench.RunAblation,
 	"faults":       bench.RunFaults,
+	"observe":      bench.RunObserve,
 }
 
 // order fixes a deterministic run order for -experiment all.
 var order = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "seqbaselines", "rrcompare", "schedulers", "ablation",
-	"faults",
+	"faults", "observe",
 }
 
 func main() {
@@ -56,6 +60,10 @@ func main() {
 		reps       = flag.Int("reps", 3, "repetitions per measurement (min is reported)")
 		seed       = flag.Uint64("seed", 20150613, "workload seed")
 		csvPath    = flag.String("csv", "", "also write all tables as CSV to this file")
+		tracePath  = flag.String("trace", "", "observe experiment: write the JSON-lines phase trace to this file")
+		baseline   = flag.String("baseline", "", "measure a seeded phase breakdown and write it to this file, then exit")
+		compare    = flag.String("compare", "", "re-measure under a stored baseline's config and fail on phase-level regression")
+		tolerance  = flag.Float64("tolerance", bench.DefaultTolerance, "relative slowdown allowed per phase by -compare")
 	)
 	flag.Parse()
 
@@ -80,6 +88,35 @@ func main() {
 	o.Procs, err = parseIntList(*procs)
 	if err != nil {
 		fatalf("bad -procs: %v", err)
+	}
+	o.TracePath = *tracePath
+
+	if *baseline != "" {
+		b := bench.MeasureBaseline(o)
+		if err := b.Write(*baseline); err != nil {
+			fatalf("write baseline: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote baseline (n=%d, procs=%d, reps=%d, total=%.4fs) to %s\n",
+			b.N, b.Procs, b.Reps, b.TotalSec, *baseline)
+		return
+	}
+	if *compare != "" {
+		base, err := bench.ReadBaseline(*compare)
+		if err != nil {
+			fatalf("read baseline: %v", err)
+		}
+		// Re-measure under the baseline's own configuration so the gate
+		// cannot silently compare apples to oranges.
+		cur := bench.MeasureBaseline(bench.Options{
+			N: base.N, Procs: []int{base.Procs}, Reps: base.Reps, Seed: base.Seed,
+		})
+		if err := bench.Compare(cur, base, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "semibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no phase-level regression vs %s (total %.4fs vs baseline %.4fs, tolerance %.0f%%)\n",
+			*compare, cur.TotalSec, base.TotalSec, 100**tolerance)
+		return
 	}
 
 	names := order

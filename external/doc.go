@@ -1,0 +1,24 @@
+// Package external implements an out-of-core semisort (shuffle) for record
+// streams larger than memory — the MapReduce shuffle from the paper's
+// introduction, at disk scale.
+//
+// Records are partitioned by the top bits of their hashed key into spill
+// files as they arrive; records with equal keys always land in the same
+// partition. Each partition is then small enough to semisort in memory
+// with the paper's algorithm, and groups are emitted partition by
+// partition. Two sequential passes over the data total, like a classic
+// external shuffle.
+//
+//	sh, _ := external.NewShuffler(&external.Config{TempDir: dir})
+//	for _, r := range stream { sh.Add(r) }
+//	sh.ForEachGroup(func(key uint64, group []semisort.Record) error { ... })
+//
+// # Observability
+//
+// The in-memory semisort of each partition honors the observability
+// hooks of Config.Semisort: an Observer set there receives one trace
+// (attempts, phase spans) per partition, and Shuffler.Stats aggregates
+// the per-partition statistics — partitions processed, records,
+// attempts, retries, fallbacks, scheduler counters — into a single
+// ShuffleStats. See docs/OBSERVABILITY.md.
+package external

@@ -1,17 +1,3 @@
-// Package external implements an out-of-core semisort (shuffle) for record
-// streams larger than memory — the MapReduce shuffle from the paper's
-// introduction, at disk scale.
-//
-// Records are partitioned by the top bits of their hashed key into spill
-// files as they arrive; records with equal keys always land in the same
-// partition. Each partition is then small enough to semisort in memory
-// with the paper's algorithm, and groups are emitted partition by
-// partition. Two sequential passes over the data total, like a classic
-// external shuffle.
-//
-//	sh, _ := external.NewShuffler(&external.Config{TempDir: dir})
-//	for _, r := range stream { sh.Add(r) }
-//	sh.ForEachGroup(func(key uint64, group []semisort.Record) error { ... })
 package external
 
 import (
@@ -71,6 +57,29 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// ShuffleStats aggregates the in-memory semisort statistics over the
+// partitions ForEachGroup processed, so an out-of-core shuffle is as
+// observable as a single in-memory call. Per-partition phase traces flow
+// through Config.Semisort.Observer as usual (one AttemptStart/AttemptEnd
+// cycle per partition attempt); these totals cover the counters worth
+// summing.
+type ShuffleStats struct {
+	// Partitions is the number of non-empty partitions semisorted.
+	Partitions int
+	// Records is the number of records semisorted across those partitions.
+	Records int64
+	// Attempts and Retries sum the per-partition scatter attempts and
+	// failed attempts (see core.Stats for their exact semantics).
+	Attempts int
+	Retries  int
+	// Fallbacks is the number of partitions that degraded to the
+	// deterministic sequential fallback.
+	Fallbacks int
+	// Sched sums the per-partition scheduler counter deltas. Collected
+	// only while Config.Semisort.Observer is non-nil, like Stats.Sched.
+	Sched semisort.SchedStats
+}
+
 // Shuffler accumulates records, spilling them to partition files, and then
 // emits all groups. Not safe for concurrent use.
 //
@@ -87,7 +96,12 @@ type Shuffler struct {
 	n      int64
 	closed bool
 	err    error // first spill failure; sticky
+	stats  ShuffleStats
 }
+
+// Stats returns the semisort statistics aggregated so far; complete once
+// ForEachGroup has returned.
+func (s *Shuffler) Stats() ShuffleStats { return s.stats }
 
 // NewShuffler creates the spill directory and partition files.
 func NewShuffler(cfg *Config) (*Shuffler, error) {
@@ -217,10 +231,18 @@ func (s *Shuffler) ForEachGroup(fn func(key uint64, group []semisort.Record) err
 			return err
 		}
 		cfg := s.cfg.Semisort
-		out, _, err := core.SemisortWS(&sorter, partition, &cfg)
+		out, st, err := core.SemisortWS(&sorter, partition, &cfg)
 		if err != nil {
 			return fmt.Errorf("external: semisort partition %d (%s): %w", p, s.partName(p), err)
 		}
+		s.stats.Partitions++
+		s.stats.Records += cnt
+		s.stats.Attempts += st.Attempts
+		s.stats.Retries += st.Retries
+		if st.FallbackUsed {
+			s.stats.Fallbacks++
+		}
+		s.stats.Sched = s.stats.Sched.Add(st.Sched)
 		var ferr error
 		rec.Runs(out, func(start, end int) {
 			if ferr != nil {

@@ -1,0 +1,79 @@
+package external
+
+import (
+	"testing"
+
+	semisort "repro"
+)
+
+// ForEachGroup aggregates per-partition semisort statistics into
+// Shuffler.Stats, including scheduler counters when an Observer is set.
+func TestShuffleStatsAggregate(t *testing.T) {
+	recs := mkRecords(20000, 500, 42)
+	var col semisort.Collector
+	cfg := &Config{
+		TempDir:    t.TempDir(),
+		Partitions: 8,
+		Semisort:   semisort.Config{Procs: 2, Observer: &col},
+	}
+	groups := collectGroups(t, cfg, recs)
+	verifyGroups(t, recs, groups)
+
+	// Re-run to grab the Shuffler handle (collectGroups hides it).
+	sh, err := NewShuffler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := sh.Stats()
+	if st.Partitions == 0 || st.Partitions > 8 {
+		t.Errorf("Partitions = %d, want in (0, 8]", st.Partitions)
+	}
+	if st.Records != int64(len(recs)) {
+		t.Errorf("Records = %d, want %d", st.Records, len(recs))
+	}
+	if st.Attempts < st.Partitions {
+		t.Errorf("Attempts = %d, want >= one per partition (%d)", st.Attempts, st.Partitions)
+	}
+	if st.Fallbacks != 0 || st.Retries != 0 {
+		t.Errorf("clean shuffle reported Retries=%d Fallbacks=%d, want 0/0", st.Retries, st.Fallbacks)
+	}
+	if st.Sched.Total() == 0 {
+		t.Errorf("Sched counters all zero with an Observer set: %+v", st.Sched)
+	}
+
+	// One trace per partition flowed through the shared Observer.
+	if got := len(col.Attempts()); got < st.Partitions {
+		t.Errorf("observer saw %d attempts, want >= %d (one per partition)", got, st.Partitions)
+	}
+}
+
+// Without an Observer, Stats still aggregates the cheap counters but the
+// scheduler counters stay off.
+func TestShuffleStatsWithoutObserver(t *testing.T) {
+	recs := mkRecords(5000, 100, 7)
+	sh, err := NewShuffler(&Config{TempDir: t.TempDir(), Partitions: 4, Semisort: semisort.Config{Procs: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := sh.Stats()
+	if st.Records != int64(len(recs)) || st.Partitions == 0 {
+		t.Errorf("Stats = %+v, want %d records over > 0 partitions", st, len(recs))
+	}
+	if st.Sched.Total() != 0 {
+		t.Errorf("Sched moved without an Observer: %+v", st.Sched)
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"hash/maphash"
 	"iter"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obsv"
 	"repro/internal/parallel"
 	"repro/internal/rec"
 )
@@ -99,30 +101,68 @@ func CollectGroups[T any, K comparable](items []T, key func(T) K, cfg *Config) (
 
 // permutationBy computes a permutation perm such that visiting
 // items[perm[0]], items[perm[1]], ... yields items grouped by key.
+//
+// With a Config.Observer set, each rehash attempt contributes a "hash"
+// span (keys → 64-bit records) and a "verify" span (the collision check)
+// around the core semisort's own trace; their Attempt index is the rehash
+// attempt, and a verify span that found a collision ends with outcome
+// "collision".
 func permutationBy[T any, K comparable](items []T, key func(T) K, cfg *Config) ([]uint64, error) {
 	n := len(items)
 	procs := 0
+	var obs obsv.Observer
 	if cfg != nil {
 		procs = cfg.Procs
+		obs = cfg.Observer
+	}
+	var epoch time.Time
+	if obs != nil {
+		epoch = time.Now()
+	}
+	span := func(attempt int, ph obsv.Phase, fn func() string) {
+		if obs == nil {
+			fn()
+			return
+		}
+		obs.PhaseStart(attempt, ph)
+		t0 := time.Now()
+		outcome := fn()
+		obs.PhaseEnd(obsv.Span{
+			Attempt:  attempt,
+			Phase:    ph,
+			Start:    t0.Sub(epoch),
+			Duration: time.Since(t0),
+			Outcome:  outcome,
+		})
 	}
 	recs := make([]rec.Record, n)
 
 	var lastErr error
 	for attempt := 0; attempt < genericRetries; attempt++ {
 		seed := maphash.MakeSeed()
-		parallel.For(procs, n, 2048, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				recs[i] = rec.Record{
-					Key:   maphash.Comparable(seed, key(items[i])),
-					Value: uint64(i),
+		span(attempt, obsv.PhaseHash, func() string {
+			parallel.For(procs, n, 2048, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					recs[i] = rec.Record{
+						Key:   maphash.Comparable(seed, key(items[i])),
+						Value: uint64(i),
+					}
 				}
-			}
+			})
+			return obsv.OutcomeOK
 		})
 		out, _, err := core.Semisort(recs, cfg)
 		if err != nil {
 			return nil, err
 		}
-		if !hasCollision(procs, out, items, key) {
+		collided := false
+		span(attempt, obsv.PhaseVerify, func() string {
+			if collided = hasCollision(procs, out, items, key); collided {
+				return obsv.OutcomeCollision
+			}
+			return obsv.OutcomeOK
+		})
+		if !collided {
 			perm := make([]uint64, n)
 			parallel.For(procs, n, 8192, func(lo, hi int) {
 				for i := lo; i < hi; i++ {

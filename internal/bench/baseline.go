@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+)
+
+// DefaultTolerance is the phase-level regression budget of the
+// bench-baseline gate: a phase (or the total) may be up to 15% slower
+// than the stored baseline before Compare fails.
+const DefaultTolerance = 0.15
+
+// noiseFloor is the share of the baseline total below which a phase is
+// too small to gate on: micro-phases (a few hundred µs of allocation or
+// packing on small CI inputs) jitter far more than 15% run to run, and
+// failing the gate on them would make it cry wolf. Such phases are still
+// covered by the total-time check.
+const noiseFloor = 0.02
+
+// Baseline is the stored result of a seeded phase-breakdown measurement
+// — the contents of BENCH_semisort.json. Write it once on a known-good
+// commit, then Compare fresh measurements against it to catch
+// phase-level performance regressions.
+type Baseline struct {
+	N     int    `json:"n"`
+	Procs int    `json:"procs"`
+	Reps  int    `json:"reps"`
+	Seed  uint64 `json:"seed"`
+	// PhasesSec is the per-phase minimum across reps, in seconds, keyed
+	// by the paper's phase names (sample, buckets, scatter, localsort,
+	// pack). Each phase's minimum is taken independently, which bounds
+	// per-phase noise tighter than picking one best rep.
+	PhasesSec map[string]float64 `json:"phases_sec"`
+	// TotalSec is the minimum across reps of the five-phase total.
+	TotalSec float64 `json:"total_sec"`
+}
+
+// MeasureBaseline measures the uninstrumented semisort (no Observer —
+// the baseline captures production performance) on the seeded uniform
+// distribution and returns the per-phase minima.
+func MeasureBaseline(o Options) Baseline {
+	o = o.withDefaults()
+	P := o.MaxProcs()
+	a := distgen.Generate(P, o.N, repUniform(o.N), o.Seed)
+	var ws core.Workspace
+	phases := map[string]time.Duration{}
+	total := time.Duration(1<<63 - 1)
+	for r := 0; r < o.Reps; r++ {
+		_, st, err := core.SemisortWS(&ws, a, &core.Config{Procs: P, Seed: o.Seed + 7})
+		if err != nil {
+			panic(err)
+		}
+		for name, d := range map[string]time.Duration{
+			"sample":    st.Phases.SampleSort,
+			"buckets":   st.Phases.Buckets,
+			"scatter":   st.Phases.Scatter,
+			"localsort": st.Phases.LocalSort,
+			"pack":      st.Phases.Pack,
+		} {
+			if old, ok := phases[name]; !ok || d < old {
+				phases[name] = d
+			}
+		}
+		if t := st.Phases.Total(); t < total {
+			total = t
+		}
+	}
+	b := Baseline{
+		N: o.N, Procs: P, Reps: o.Reps, Seed: o.Seed,
+		PhasesSec: make(map[string]float64, len(phases)),
+		TotalSec:  total.Seconds(),
+	}
+	for name, d := range phases {
+		b.PhasesSec[name] = d.Seconds()
+	}
+	return b
+}
+
+// Write stores the baseline as indented JSON at path.
+func (b Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline written by Write.
+func ReadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Compare checks a fresh measurement cur against the stored base.
+// It fails when the two were not measured under the same configuration
+// (regressions would be meaningless), and otherwise reports every phase
+// slower than base by more than tol (plus the total). Phases below
+// noiseFloor of the baseline total are exempt from the per-phase check;
+// tol <= 0 selects DefaultTolerance.
+func Compare(cur, base Baseline, tol float64) error {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	if cur.N != base.N || cur.Procs != base.Procs || cur.Seed != base.Seed {
+		return fmt.Errorf(
+			"baseline config mismatch: measured n=%d procs=%d seed=%d, baseline n=%d procs=%d seed=%d",
+			cur.N, cur.Procs, cur.Seed, base.N, base.Procs, base.Seed)
+	}
+	var regressions []string
+	names := make([]string, 0, len(base.PhasesSec))
+	for name := range base.PhasesSec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bs := base.PhasesSec[name]
+		cs, ok := cur.PhasesSec[name]
+		if !ok {
+			return fmt.Errorf("baseline phase %q missing from current measurement", name)
+		}
+		if base.TotalSec > 0 && bs < noiseFloor*base.TotalSec {
+			continue
+		}
+		if cs > bs*(1+tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.4fs vs baseline %.4fs (+%.0f%% > %.0f%%)",
+				name, cs, bs, 100*(cs/bs-1), 100*tol))
+		}
+	}
+	if cur.TotalSec > base.TotalSec*(1+tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"total: %.4fs vs baseline %.4fs (+%.0f%% > %.0f%%)",
+			cur.TotalSec, base.TotalSec, 100*(cur.TotalSec/base.TotalSec-1), 100*tol))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("phase-level perf regression:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}

@@ -35,6 +35,9 @@ type Options struct {
 	Seed uint64
 	// Out receives the rendered tables; defaults to io.Discard if nil.
 	Out io.Writer
+	// TracePath, when non-empty, makes RunObserve additionally write the
+	// JSON-lines phase trace (one object per event) to this file.
+	TracePath string
 }
 
 // withDefaults fills in unset fields.

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hash"
 	"repro/internal/hashtable"
+	"repro/internal/obsv"
 	"repro/internal/parallel"
 	"repro/internal/prim"
 	"repro/internal/rec"
@@ -141,6 +143,19 @@ type Config struct {
 	// DisableFallback makes retry exhaustion return ErrOverflow instead
 	// of degrading to the deterministic sequential semisort.
 	DisableFallback bool
+	// Observer, when non-nil, receives a structured trace of the call:
+	// an AttemptStart/AttemptEnd pair per scatter attempt (and per
+	// fallback) with a PhaseStart/PhaseEnd span for every phase the
+	// attempt reaches, all invoked on the orchestrating goroutine. It
+	// also turns on the scheduler counters reported in Stats.Sched. A
+	// nil Observer costs one nil-check per phase; see docs/OBSERVABILITY.md.
+	Observer obsv.Observer
+	// PprofLabels, when set, runs each phase's parallel workers under a
+	// pprof label set {"semisort_phase": <phase>} (via runtime/pprof.Do),
+	// so CPU profiles attribute samples to the five phases. Off by
+	// default: Do installs labels with a goroutine-local write that is
+	// measurable on very hot small inputs.
+	PprofLabels bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -187,22 +202,62 @@ func (p PhaseTimes) Total() time.Duration {
 
 // Stats describes one semisort execution.
 type Stats struct {
-	N               int        // number of input records
-	SampleSize      int        // |S|
-	HeavyKeys       int        // distinct heavy keys
-	LightBuckets    int        // light buckets after merging
-	SlotsAllocated  int        // total bucket array slots (≈ Σ slack·f(s))
-	HeavyRecords    int        // records placed via the heavy path
-	Retries         int        // Las Vegas restarts due to overflow
-	EffectiveSlack  float64    // slack used by the successful attempt
-	Phases          PhaseTimes // per-phase wall-clock breakdown
-	MaxProbeCluster int        // longest probe run observed in Phase 3
+	N              int        // number of input records
+	SampleSize     int        // |S|
+	HeavyKeys      int        // distinct heavy keys
+	LightBuckets   int        // light buckets after merging
+	SlotsAllocated int        // total bucket array slots (≈ Σ slack·f(s))
+	HeavyRecords   int        // records placed via the heavy path
+	EffectiveSlack float64    // slack in force for the attempt that produced the output
+	Phases         PhaseTimes // per-phase wall-clock breakdown
 
-	// Recovery bookkeeping (all zero on a clean first-attempt success).
-	Attempts          int  // scatter attempts executed (Retries+1)
-	OverflowedBuckets int  // bucket overflows observed, summed over failed attempts
-	OverflowDeficit   int  // records seen failing placement across failed attempts
-	FallbackUsed      bool // output came from the sequential fallback
+	// Retries counts the scatter attempts that failed before the output
+	// was produced; it is always Attempts-1. A retry is NOT necessarily a
+	// Las Vegas restart in the paper's sense: the first retries on a
+	// sample keep that sample and regrow only the buckets that overflowed
+	// (bucket ids stay stable, nothing is resampled), and only the
+	// escalation path — fresh sample, doubled slack — restarts the
+	// algorithm from Phase 1. Config.Observer distinguishes the two (the
+	// AttemptStart kinds "boosted" vs "resample").
+	Retries int
+
+	// MaxProbeCluster is the longest linear-probe run any record needed
+	// to claim a slot in Phase 3 — the empirical counterpart of the
+	// paper's O(log n) w.h.p. probe-cluster bound (Section 3, placement
+	// problem). A value far above ~log2(n) means the size estimate f(s)
+	// is too tight for the workload.
+	MaxProbeCluster int
+
+	// Recovery bookkeeping (Attempts == 1 and the rest zero on a clean
+	// first-attempt success).
+
+	// Attempts counts scatter attempts executed, successful or not
+	// (always Retries+1). The sequential fallback is not a scatter
+	// attempt: a run that degrades reports the attempts that overflowed
+	// and FallbackUsed, and Attempts does not count the fallback itself.
+	Attempts int
+	// OverflowedBuckets sums, over the failed attempts, the number of
+	// buckets that rejected at least one record during that attempt's
+	// scatter. A bucket that overflows in two consecutive attempts is
+	// counted twice; a successful attempt contributes nothing.
+	OverflowedBuckets int
+	// OverflowDeficit counts records observed failing placement across
+	// all failed attempts — a lower bound on how undersized the
+	// overflowed buckets were (each failed attempt stops at its first
+	// rejected record per worker, so the true deficit may be larger).
+	OverflowDeficit int
+	// FallbackUsed reports that the output came from the deterministic
+	// sequential fallback after retry exhaustion or the MaxSlotBytes cap.
+	FallbackUsed bool
+
+	// Sched holds the scheduler-counter deltas accumulated during this
+	// call: chunks claimed by the flat runtime's cursor, steals and
+	// failed steal scans by the work-stealing pool, help-while-waiting
+	// joins, and limiter spawn/inline/queue-depth figures. Collected only
+	// while Config.Observer is non-nil (the counters are process-global,
+	// so concurrent semisorts fold into each other's deltas); all zero
+	// otherwise. See docs/OBSERVABILITY.md for each counter's meaning.
+	Sched obsv.SchedStats
 }
 
 // ErrOverflow is the sentinel wrapped by overflow-related errors. It
@@ -293,19 +348,43 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, s
 		}
 	}()
 
+	tr := newTracer(&c)
+	if tr.obs != nil {
+		// Scheduler counters are process-global and cumulative; register
+		// a collector for the duration and report this call's delta.
+		obsv.EnableSched()
+		defer obsv.DisableSched()
+		schedBase := obsv.SchedSnapshot()
+		defer func() { stats.Sched = obsv.SchedSnapshot().Sub(schedBase) }()
+	}
+
 	var (
-		boost            map[int32]float64 // bucket id → size multiplier
-		boostRetries     int               // boosted retries on the current sample
-		sampleAttempt    int               // bumped only when we resample
-		overflowBuckets  int
-		overflowDeficit  int
-		capHit           bool
+		boost           map[int32]float64 // bucket id → size multiplier
+		boostRetries    int               // boosted retries on the current sample
+		sampleAttempt   int               // bumped only when we resample
+		overflowBuckets int
+		overflowDeficit int
+		capHit          bool
 	)
 	for attempt := 0; attempt < c.MaxRetries; attempt++ {
 		if cerr := ctxErr(c.Context); cerr != nil {
 			return nil, stats, fmt.Errorf("semisort: canceled: %w", cerr)
 		}
-		res, s, oerr := semisortOnce(ws, a, c, sampleAttempt, attempt, boost)
+		if tr.obs != nil {
+			kind := obsv.AttemptFresh
+			switch {
+			case attempt == 0:
+			case boost != nil:
+				kind = obsv.AttemptBoosted
+			default:
+				kind = obsv.AttemptResample
+			}
+			tr.attemptStart(obsv.Attempt{
+				Index: attempt, Kind: kind,
+				Slack: c.Slack, BoostedBuckets: len(boost),
+			})
+		}
+		res, s, oerr := semisortOnce(ws, a, c, sampleAttempt, attempt, boost, &tr)
 		s.Retries = attempt
 		s.Attempts = attempt + 1
 		s.EffectiveSlack = c.Slack
@@ -313,12 +392,14 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, s
 		s.OverflowDeficit = overflowDeficit
 		stats = s
 		if oerr == nil {
+			tr.attemptEnd(obsv.AttemptEnd{Index: attempt, Outcome: obsv.OutcomeOK})
 			return res, s, nil
 		}
 		var of *overflowError
 		switch {
 		case errors.Is(oerr, errSlotCap):
 			capHit = true
+			tr.attemptEnd(obsv.AttemptEnd{Index: attempt, Outcome: obsv.OutcomeCap})
 		case errors.As(oerr, &of):
 			overflowBuckets += len(of.buckets)
 			for _, d := range of.buckets {
@@ -326,6 +407,10 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, s
 			}
 			stats.OverflowedBuckets = overflowBuckets
 			stats.OverflowDeficit = overflowDeficit
+			tr.attemptEnd(obsv.AttemptEnd{
+				Index: attempt, Outcome: obsv.OutcomeOverflow,
+				OverflowedBuckets: len(of.buckets),
+			})
 			// Adaptive recovery: regrow only the deficient buckets while
 			// keeping the sample (bucket ids are stable for a fixed
 			// sample), escalating to a fresh sample with doubled slack
@@ -350,12 +435,18 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, s
 		case errors.Is(oerr, ErrOverflow):
 			// Overflow without bucket detail (block-rounds scatter):
 			// classic policy — fresh sample, doubled slack.
+			tr.attemptEnd(obsv.AttemptEnd{Index: attempt, Outcome: obsv.OutcomeOverflow})
 			boost, boostRetries = nil, 0
 			sampleAttempt++
 			c.Slack *= 2
 		default:
 			// Cancellation or an internal invariant violation: not
 			// retryable.
+			outcome := obsv.OutcomeError
+			if ctxErr(c.Context) != nil {
+				outcome = obsv.OutcomeCanceled
+			}
+			tr.attemptEnd(obsv.AttemptEnd{Index: attempt, Outcome: outcome})
 			return nil, stats, fmt.Errorf("semisort failed after %d attempts: %w", attempt+1, oerr)
 		}
 		if capHit {
@@ -376,9 +467,18 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, s
 	if cerr := ctxErr(c.Context); cerr != nil {
 		return nil, stats, fmt.Errorf("semisort: canceled: %w", cerr)
 	}
+	// The fallback is traced as one more attempt (index Attempts, i.e.
+	// after the last scatter attempt) holding a single "fallback" span.
+	fbIdx := stats.Attempts
+	tr.attemptStart(obsv.Attempt{Index: fbIdx, Kind: obsv.AttemptFallback})
+	tr.phaseStart(fbIdx, obsv.PhaseFallback)
 	t0 := time.Now()
-	out = seqsemi.TwoPhase(a)
+	tr.labeled("fallback", func() {
+		out = seqsemi.TwoPhase(a)
+	})
 	stats.Phases.LocalSort += time.Since(t0)
+	tr.span(fbIdx, obsv.PhaseFallback, t0, obsv.OutcomeOK)
+	tr.attemptEnd(obsv.AttemptEnd{Index: fbIdx, Outcome: obsv.OutcomeOK})
 	stats.FallbackUsed = true
 	return out, stats, nil
 }
@@ -389,6 +489,75 @@ func ctxErr(ctx context.Context) error {
 		return nil
 	}
 	return ctx.Err()
+}
+
+// tracer emits one semisort call's obsv events and pprof labels. With a
+// nil observer and labels off every probe is a nil/bool check — no time
+// reads, no allocation — so the uninstrumented hot path is unaffected.
+type tracer struct {
+	obs    obsv.Observer
+	epoch  time.Time // call start; span offsets are relative to it
+	ctx    context.Context
+	labels bool
+}
+
+func newTracer(c *Config) tracer {
+	t := tracer{obs: c.Observer, ctx: c.Context, labels: c.PprofLabels}
+	if t.obs != nil {
+		t.epoch = time.Now()
+	}
+	return t
+}
+
+// phaseStart announces a phase; always balanced by span() on the same
+// goroutine (the runtime/trace region contract).
+func (t *tracer) phaseStart(attempt int, ph obsv.Phase) {
+	if t.obs != nil {
+		t.obs.PhaseStart(attempt, ph)
+	}
+}
+
+// span closes the phase opened by phaseStart, started at wall-clock
+// start, with the given outcome.
+func (t *tracer) span(attempt int, ph obsv.Phase, start time.Time, outcome string) {
+	if t.obs == nil {
+		return
+	}
+	t.obs.PhaseEnd(obsv.Span{
+		Attempt:  attempt,
+		Phase:    ph,
+		Start:    start.Sub(t.epoch),
+		Duration: time.Since(start),
+		Outcome:  outcome,
+	})
+}
+
+func (t *tracer) attemptStart(a obsv.Attempt) {
+	if t.obs != nil {
+		t.obs.AttemptStart(a)
+	}
+}
+
+func (t *tracer) attemptEnd(e obsv.AttemptEnd) {
+	if t.obs != nil {
+		t.obs.AttemptEnd(e)
+	}
+}
+
+// labeled runs fn under the pprof label set {"semisort_phase": phase}
+// when Config.PprofLabels is on, so goroutines forked inside fn (the
+// phase's parallel workers inherit their creator's labels) show up
+// attributed to the phase in CPU profiles.
+func (t *tracer) labeled(phase string, fn func()) {
+	if !t.labels {
+		fn()
+		return
+	}
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels("semisort_phase", phase), func(context.Context) { fn() })
 }
 
 // phaseGate marks one of the five phase boundaries: it gives the fault
@@ -430,10 +599,13 @@ func sizeEstimate(s int, logn float64, c, slack float64, rate int, exact bool) i
 // semisortOnce runs one Las Vegas attempt. sampleAttempt seeds the
 // sampling randomness (stable across boosted retries so bucket ids remain
 // comparable), scatterAttempt seeds the scatter randomness (fresh every
-// attempt), and boost multiplies the size estimate of specific buckets
-// that overflowed on a previous attempt with the same sample.
-func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatterAttempt int, boost map[int32]float64) ([]rec.Record, Stats, error) {
+// attempt), boost multiplies the size estimate of specific buckets that
+// overflowed on a previous attempt with the same sample, and tr receives
+// the attempt's phase spans (scatterAttempt doubles as the span attempt
+// index).
+func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatterAttempt int, boost map[int32]float64, tr *tracer) ([]rec.Record, Stats, error) {
 	n := len(a)
+	attempt := scatterAttempt
 	var stats Stats
 	stats.N = n
 	if n == 0 {
@@ -449,29 +621,40 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 	if err := phaseGate(ctx, "sampling"); err != nil {
 		return nil, stats, err
 	}
+	tr.phaseStart(attempt, obsv.PhaseSample)
 	t0 := time.Now()
 	rate := c.SampleRate
 	ns := n / rate
 	sample, sampleScratch := ws.getSample(ns)
-	if err := parallel.ForCtx(ctx, procs, ns, 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			j := i*rate + int(rng.RandBounded(uint64(i), uint64(rate)))
-			sample[i] = a[j].Key
+	var sampleErr error
+	tr.labeled("sample", func() {
+		sampleErr = parallel.ForCtx(ctx, procs, ns, 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				j := i*rate + int(rng.RandBounded(uint64(i), uint64(rate)))
+				sample[i] = a[j].Key
+			}
+		})
+		if sampleErr == nil && ns > 0 {
+			sortint.SortUint64With(procs, sample, sampleScratch)
 		}
-	}); err != nil {
-		return nil, stats, fmt.Errorf("semisort: canceled at sampling: %w", err)
-	}
-	if ns > 0 {
-		sortint.SortUint64With(procs, sample, sampleScratch)
+	})
+	if sampleErr != nil {
+		tr.span(attempt, obsv.PhaseSample, t0, obsv.OutcomeCanceled)
+		return nil, stats, fmt.Errorf("semisort: canceled at sampling: %w", sampleErr)
 	}
 	stats.SampleSize = ns
 	stats.Phases.SampleSort = time.Since(t0)
+	tr.span(attempt, obsv.PhaseSample, t0, obsv.OutcomeOK)
 
 	// ------------------------------------------------------------------
-	// Phase 2: bucket construction.
+	// Phase 2: bucket construction — traced as two spans, "classify"
+	// (heavy/light classification of the sorted sample's runs) and
+	// "allocate" (bucket table + slot arrays); PhaseTimes.Buckets is
+	// their sum.
 	if err := phaseGate(ctx, "bucket construction"); err != nil {
 		return nil, stats, err
 	}
+	tr.phaseStart(attempt, obsv.PhaseClassify)
 	t0 = time.Now()
 
 	// Offsets of distinct-key runs in the sorted sample.
@@ -504,7 +687,7 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 	lightCounts := make([]int32, numLight)
 	heavyLists := make([][]heavyRun, 0)
 	var heavyMu atomic.Int64 // count of heavy keys (cheap stat)
-	{
+	tr.labeled("classify", func() {
 		grain := parallel.Grain(numRuns, procs, 512)
 		nblocks := 0
 		if numRuns > 0 {
@@ -533,8 +716,11 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 				heavyMu.Add(int64(len(local)))
 			}
 		})
-	}
+	})
 	numHeavy := int(heavyMu.Load())
+	tr.span(attempt, obsv.PhaseClassify, t0, obsv.OutcomeOK)
+	tr.phaseStart(attempt, obsv.PhaseAllocate)
+	tAlloc := time.Now()
 
 	// Build the bucket table. Heavy buckets first, then (merged) light
 	// buckets, all carved out of one big slot array so Phase 5 can pack
@@ -600,6 +786,7 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 
 	if c.MaxSlotBytes > 0 && slotTotal*16 > c.MaxSlotBytes {
 		stats.Phases.Buckets = time.Since(t0)
+		tr.span(attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
 		return nil, stats, fmt.Errorf("%w: need %d slot bytes, cap %d",
 			errSlotCap, slotTotal*16, c.MaxSlotBytes)
 	}
@@ -609,16 +796,19 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 	stats.LightBuckets = numLightMerged
 	stats.SlotsAllocated = int(slotTotal)
 	stats.Phases.Buckets = time.Since(t0)
+	tr.span(attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeOK)
 
 	// ------------------------------------------------------------------
 	// Phase 3: scattering.
 	if err := phaseGate(ctx, "scatter"); err != nil {
 		return nil, stats, err
 	}
+	tr.phaseStart(attempt, obsv.PhaseScatter)
 	t0 = time.Now()
 	scatterRNG := hash.NewRNG(c.Seed ^ (uint64(scatterAttempt)+1)*0xd1342543de82ef95)
 	if fault.Should(fault.ScatterOverflow) {
 		stats.Phases.Scatter = time.Since(t0)
+		tr.span(attempt, obsv.PhaseScatter, t0, obsv.OutcomeOverflow)
 		return nil, stats, &overflowError{buckets: map[int32]int32{0: 1}}
 	}
 
@@ -659,12 +849,22 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 	}
 
 	if c.Probe == ProbeBlockRounds {
-		if err := scatterBlockRounds(procs, a, buckets, slots, occ, bucketOf,
-			scatterRNG, c.ExactBucketSizes, &heavyPlaced); err != nil {
-			return nil, stats, err
+		var brErr error
+		tr.labeled("scatter", func() {
+			brErr = scatterBlockRounds(procs, a, buckets, slots, occ, bucketOf,
+				scatterRNG, c.ExactBucketSizes, &heavyPlaced)
+		})
+		if brErr != nil {
+			outcome := obsv.OutcomeCanceled
+			if errors.Is(brErr, ErrOverflow) {
+				outcome = obsv.OutcomeOverflow
+			}
+			tr.span(attempt, obsv.PhaseScatter, t0, outcome)
+			return nil, stats, brErr
 		}
 	} else {
-		if err := parallel.ForCtx(ctx, procs, n, 8192, func(lo, hi int) {
+		var scatterErr error
+		scatterBody := func(lo, hi int) {
 			if overflow.Load() {
 				return
 			}
@@ -714,72 +914,38 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 					break
 				}
 			}
-		}); err != nil {
-			return nil, stats, fmt.Errorf("semisort: canceled at scatter: %w", err)
+		}
+		tr.labeled("scatter", func() {
+			scatterErr = parallel.ForCtx(ctx, procs, n, 8192, scatterBody)
+		})
+		if scatterErr != nil {
+			tr.span(attempt, obsv.PhaseScatter, t0, obsv.OutcomeCanceled)
+			return nil, stats, fmt.Errorf("semisort: canceled at scatter: %w", scatterErr)
 		}
 		if overflow.Load() {
+			stats.Phases.Scatter = time.Since(t0)
+			tr.span(attempt, obsv.PhaseScatter, t0, obsv.OutcomeOverflow)
 			return nil, stats, &overflowError{buckets: ofBuckets}
 		}
 	}
 	stats.HeavyRecords = int(heavyPlaced.Load())
 	stats.MaxProbeCluster = int(maxCluster.Load())
 	stats.Phases.Scatter = time.Since(t0)
+	tr.span(attempt, obsv.PhaseScatter, t0, obsv.OutcomeOK)
 
 	// ------------------------------------------------------------------
 	// Phase 4: local sort of light buckets (compact, then semisort).
 	if err := phaseGate(ctx, "local sort"); err != nil {
 		return nil, stats, err
 	}
+	tr.phaseStart(attempt, obsv.PhaseLocalSort)
 	t0 = time.Now()
 	lightCnt := make([]int32, numLightMerged)
-	lsErr := parallel.ForEachCtx(ctx, procs, numLightMerged, 1, func(j int) {
-		bk := buckets[firstLight+j]
-		lo, hi := bk.off, bk.off+int64(bk.sz)
-		w := lo
-		for i := lo; i < hi; i++ {
-			if occ[i] != 0 {
-				slots[w] = slots[i]
-				w++
-			}
-		}
-		cnt := int(w - lo)
-		lightCnt[j] = int32(cnt)
-		seg := slots[lo : lo+int64(cnt)]
-		switch c.LocalSort {
-		case LocalSortCounting:
-			countingSemisort(seg)
-		case LocalSortBucket:
-			bucketLocalSort(seg)
-		default:
-			sortcmp.Introsort(seg)
-		}
-	})
-	if lsErr != nil {
-		return nil, stats, fmt.Errorf("semisort: canceled at local sort: %w", lsErr)
-	}
-	stats.Phases.LocalSort = time.Since(t0)
-
-	// ------------------------------------------------------------------
-	// Phase 5: packing.
-	if err := phaseGate(ctx, "pack"); err != nil {
-		return nil, stats, err
-	}
-	t0 = time.Now()
-	out := make([]rec.Record, n)
-
-	// Heavy region: split [0, heavySlotEnd) into ~1000 intervals; compact
-	// each interval in place, prefix-sum the counts, copy out.
-	heavyTotal := 0
-	if heavySlotEnd > 0 {
-		intervals := 1000
-		if heavySlotEnd < int64(intervals)*64 {
-			intervals = int(heavySlotEnd/64) + 1
-		}
-		ilen := (heavySlotEnd + int64(intervals) - 1) / int64(intervals)
-		counts := make([]int32, intervals)
-		parallel.ForEach(procs, intervals, 1, func(iv int) {
-			lo := int64(iv) * ilen
-			hi := min64(lo+ilen, heavySlotEnd)
+	var lsErr error
+	tr.labeled("localsort", func() {
+		lsErr = parallel.ForEachCtx(ctx, procs, numLightMerged, 1, func(j int) {
+			bk := buckets[firstLight+j]
+			lo, hi := bk.off, bk.off+int64(bk.sz)
 			w := lo
 			for i := lo; i < hi; i++ {
 				if occ[i] != 0 {
@@ -787,38 +953,91 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 					w++
 				}
 			}
-			counts[iv] = int32(w - lo)
-		})
-		total := prim.ExclusiveScan(1, counts)
-		heavyTotal = int(total)
-		parallel.ForEach(procs, intervals, 1, func(iv int) {
-			lo := int64(iv) * ilen
-			cnt := int32(0)
-			if iv+1 < intervals {
-				cnt = counts[iv+1] - counts[iv]
-			} else {
-				cnt = total - counts[iv]
+			cnt := int(w - lo)
+			lightCnt[j] = int32(cnt)
+			seg := slots[lo : lo+int64(cnt)]
+			switch c.LocalSort {
+			case LocalSortCounting:
+				countingSemisort(seg)
+			case LocalSortBucket:
+				bucketLocalSort(seg)
+			default:
+				sortcmp.Introsort(seg)
 			}
-			if cnt == 0 {
-				// Intervals past heavySlotEnd are empty, and their lo may
-				// exceed the slot array; indexing would panic.
-				return
-			}
-			copy(out[counts[iv]:int(counts[iv])+int(cnt)], slots[lo:lo+int64(cnt)])
 		})
+	})
+	if lsErr != nil {
+		tr.span(attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeCanceled)
+		return nil, stats, fmt.Errorf("semisort: canceled at local sort: %w", lsErr)
 	}
+	stats.Phases.LocalSort = time.Since(t0)
+	tr.span(attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeOK)
 
-	// Light region: per-bucket counts are known; prefix sum for offsets,
-	// then parallel copy.
-	lightOffsets := make([]int32, numLightMerged)
-	copy(lightOffsets, lightCnt)
-	lightTotal := prim.ExclusiveScan(1, lightOffsets)
-	parallel.ForEach(procs, numLightMerged, 1, func(j int) {
-		bk := buckets[firstLight+j]
-		dst := heavyTotal + int(lightOffsets[j])
-		copy(out[dst:dst+int(lightCnt[j])], slots[bk.off:bk.off+int64(lightCnt[j])])
+	// ------------------------------------------------------------------
+	// Phase 5: packing.
+	if err := phaseGate(ctx, "pack"); err != nil {
+		return nil, stats, err
+	}
+	tr.phaseStart(attempt, obsv.PhasePack)
+	t0 = time.Now()
+	out := make([]rec.Record, n)
+
+	heavyTotal := 0
+	var lightTotal int32
+	tr.labeled("pack", func() {
+		// Heavy region: split [0, heavySlotEnd) into ~1000 intervals;
+		// compact each interval in place, prefix-sum the counts, copy out.
+		if heavySlotEnd > 0 {
+			intervals := 1000
+			if heavySlotEnd < int64(intervals)*64 {
+				intervals = int(heavySlotEnd/64) + 1
+			}
+			ilen := (heavySlotEnd + int64(intervals) - 1) / int64(intervals)
+			counts := make([]int32, intervals)
+			parallel.ForEach(procs, intervals, 1, func(iv int) {
+				lo := int64(iv) * ilen
+				hi := min64(lo+ilen, heavySlotEnd)
+				w := lo
+				for i := lo; i < hi; i++ {
+					if occ[i] != 0 {
+						slots[w] = slots[i]
+						w++
+					}
+				}
+				counts[iv] = int32(w - lo)
+			})
+			total := prim.ExclusiveScan(1, counts)
+			heavyTotal = int(total)
+			parallel.ForEach(procs, intervals, 1, func(iv int) {
+				lo := int64(iv) * ilen
+				cnt := int32(0)
+				if iv+1 < intervals {
+					cnt = counts[iv+1] - counts[iv]
+				} else {
+					cnt = total - counts[iv]
+				}
+				if cnt == 0 {
+					// Intervals past heavySlotEnd are empty, and their lo may
+					// exceed the slot array; indexing would panic.
+					return
+				}
+				copy(out[counts[iv]:int(counts[iv])+int(cnt)], slots[lo:lo+int64(cnt)])
+			})
+		}
+
+		// Light region: per-bucket counts are known; prefix sum for
+		// offsets, then parallel copy.
+		lightOffsets := make([]int32, numLightMerged)
+		copy(lightOffsets, lightCnt)
+		lightTotal = prim.ExclusiveScan(1, lightOffsets)
+		parallel.ForEach(procs, numLightMerged, 1, func(j int) {
+			bk := buckets[firstLight+j]
+			dst := heavyTotal + int(lightOffsets[j])
+			copy(out[dst:dst+int(lightCnt[j])], slots[bk.off:bk.off+int64(lightCnt[j])])
+		})
 	})
 	stats.Phases.Pack = time.Since(t0)
+	tr.span(attempt, obsv.PhasePack, t0, obsv.OutcomeOK)
 
 	if heavyTotal+int(lightTotal) != n {
 		return nil, stats, fmt.Errorf("semisort internal error: packed %d of %d records", heavyTotal+int(lightTotal), n)

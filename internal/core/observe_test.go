@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obsv"
+)
+
+// phasesOf extracts the phase sequence of one attempt's spans, in
+// emission order.
+func phasesOf(spans []obsv.Span, attempt int) []obsv.Phase {
+	var ps []obsv.Phase
+	for _, s := range spans {
+		if s.Attempt == attempt {
+			ps = append(ps, s.Phase)
+		}
+	}
+	return ps
+}
+
+func wantPhases(t *testing.T, got, want []obsv.Phase, attempt int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("attempt %d: phases = %v, want %v", attempt, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("attempt %d: phases = %v, want %v", attempt, got, want)
+		}
+	}
+}
+
+var cleanPhases = []obsv.Phase{
+	obsv.PhaseSample, obsv.PhaseClassify, obsv.PhaseAllocate,
+	obsv.PhaseScatter, obsv.PhaseLocalSort, obsv.PhasePack,
+}
+
+// A clean run traces exactly one attempt: kind "fresh", all six phases in
+// paper order with outcome ok, and scheduler counters flowing into
+// Stats.Sched.
+func TestObserverCleanRunTrace(t *testing.T) {
+	a := mkRecords(30000, 100, 3)
+	var col obsv.Collector
+	out, stats, err := Semisort(a, &Config{Procs: 4, Observer: &col})
+	if err != nil {
+		t.Fatalf("semisort: %v", err)
+	}
+	checkSemisorted(t, "observed clean run", a, out)
+
+	atts := col.Attempts()
+	if len(atts) != 1 || atts[0].Kind != obsv.AttemptFresh || atts[0].Index != 0 {
+		t.Fatalf("attempts = %+v, want one fresh attempt 0", atts)
+	}
+	if atts[0].Slack <= 1 {
+		t.Errorf("AttemptStart.Slack = %v, want the configured slack > 1", atts[0].Slack)
+	}
+	ends := col.Ends()
+	if len(ends) != 1 || ends[0].Outcome != obsv.OutcomeOK {
+		t.Fatalf("attempt ends = %+v, want one ok end", ends)
+	}
+
+	spans := col.Spans()
+	wantPhases(t, phasesOf(spans, 0), cleanPhases, 0)
+	var prev time.Duration = -1
+	for _, s := range spans {
+		if s.Outcome != obsv.OutcomeOK {
+			t.Errorf("span %v outcome %q, want ok", s.Phase, s.Outcome)
+		}
+		if s.Start < prev {
+			t.Errorf("span %v starts at %v, before previous span's start %v", s.Phase, s.Start, prev)
+		}
+		prev = s.Start
+		if s.Duration < 0 {
+			t.Errorf("span %v has negative duration %v", s.Phase, s.Duration)
+		}
+	}
+
+	// An Observer turns on the scheduler counters; a 4-worker run over
+	// 30k records must claim chunks from the flat runtime's cursor.
+	if stats.Sched.ChunksClaimed == 0 {
+		t.Errorf("Stats.Sched.ChunksClaimed = 0, want > 0: %+v", stats.Sched)
+	}
+}
+
+// The ISSUE acceptance test: injected scatter overflows must surface as
+// retry attempts in the trace — truncated overflow attempts followed by a
+// full successful one.
+func TestObserverRetrySpans(t *testing.T) {
+	a := mkRecords(30000, 100, 7)
+	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 2))
+	var col obsv.Collector
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 4, Observer: &col})
+	if err != nil {
+		t.Fatalf("semisort after 2 injected overflows: %v", err)
+	}
+	checkSemisorted(t, "observed retries", a, out)
+	if stats.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", stats.Attempts)
+	}
+
+	atts := col.Attempts()
+	if len(atts) != 3 {
+		t.Fatalf("AttemptStart events = %+v, want 3", atts)
+	}
+	if atts[0].Kind != obsv.AttemptFresh {
+		t.Errorf("attempt 0 kind = %q, want fresh", atts[0].Kind)
+	}
+	// The first retry keeps the sample and regrows the overflowed
+	// buckets; the injected overflow names bucket 0, so it must be
+	// boosted.
+	if atts[1].Kind != obsv.AttemptBoosted || atts[1].BoostedBuckets == 0 {
+		t.Errorf("attempt 1 = %+v, want kind boosted with boosted buckets", atts[1])
+	}
+
+	spans := col.Spans()
+	// Overflowing attempts run sample/classify/allocate, then die in
+	// scatter: their last span is a scatter span with outcome overflow.
+	truncated := []obsv.Phase{
+		obsv.PhaseSample, obsv.PhaseClassify, obsv.PhaseAllocate, obsv.PhaseScatter,
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		ps := phasesOf(spans, attempt)
+		wantPhases(t, ps, truncated, attempt)
+		for _, s := range spans {
+			if s.Attempt != attempt || s.Phase != obsv.PhaseScatter {
+				continue
+			}
+			if s.Outcome != obsv.OutcomeOverflow {
+				t.Errorf("attempt %d scatter outcome = %q, want overflow", attempt, s.Outcome)
+			}
+		}
+	}
+	wantPhases(t, phasesOf(spans, 2), cleanPhases, 2)
+
+	ends := col.Ends()
+	if len(ends) != 3 {
+		t.Fatalf("AttemptEnd events = %+v, want 3", ends)
+	}
+	for i := 0; i < 2; i++ {
+		if ends[i].Outcome != obsv.OutcomeOverflow || ends[i].OverflowedBuckets == 0 {
+			t.Errorf("attempt %d end = %+v, want overflow with bucket count", i, ends[i])
+		}
+	}
+	if ends[2].Outcome != obsv.OutcomeOK {
+		t.Errorf("attempt 2 end = %+v, want ok", ends[2])
+	}
+}
+
+// Retry exhaustion degrades to the sequential fallback, which the trace
+// reports as one extra attempt holding a single fallback span.
+func TestObserverFallbackSpan(t *testing.T) {
+	a := mkRecords(20000, 100, 11)
+	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 100))
+	var col obsv.Collector
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 2, Observer: &col})
+	if err != nil {
+		t.Fatalf("semisort with exhausted retries: %v", err)
+	}
+	checkSemisorted(t, "observed fallback", a, out)
+	if !stats.FallbackUsed {
+		t.Fatal("FallbackUsed = false, want true")
+	}
+
+	atts := col.Attempts()
+	if len(atts) != 3 {
+		t.Fatalf("AttemptStart events = %+v, want 2 scatter attempts + fallback", atts)
+	}
+	fb := atts[2]
+	if fb.Kind != obsv.AttemptFallback || fb.Index != stats.Attempts {
+		t.Errorf("fallback attempt = %+v, want kind fallback at index %d", fb, stats.Attempts)
+	}
+	wantPhases(t, phasesOf(col.Spans(), fb.Index), []obsv.Phase{obsv.PhaseFallback}, fb.Index)
+	ends := col.Ends()
+	if last := ends[len(ends)-1]; last.Index != fb.Index || last.Outcome != obsv.OutcomeOK {
+		t.Errorf("fallback end = %+v, want ok at index %d", last, fb.Index)
+	}
+}
+
+// With no Observer and labels off, every tracer probe must be a plain
+// nil/bool check: zero allocations, no time reads.
+func TestNilObserverProbesDoNotAllocate(t *testing.T) {
+	tr := newTracer(&Config{})
+	start := time.Now()
+	if got := testing.AllocsPerRun(100, func() {
+		tr.attemptStart(obsv.Attempt{Index: 0, Kind: obsv.AttemptFresh})
+		tr.phaseStart(0, obsv.PhaseSample)
+		tr.span(0, obsv.PhaseSample, start, obsv.OutcomeOK)
+		tr.attemptEnd(obsv.AttemptEnd{Index: 0, Outcome: obsv.OutcomeOK})
+		tr.labeled("sample", func() {})
+	}); got != 0 {
+		t.Errorf("nil-observer tracer probes allocate %v per run, want 0", got)
+	}
+}
+
+// PprofLabels must not perturb results; it only wraps phases in pprof.Do.
+func TestPprofLabelsRun(t *testing.T) {
+	a := mkRecords(20000, 100, 5)
+	out, _, err := Semisort(a, &Config{Procs: 2, PprofLabels: true})
+	if err != nil {
+		t.Fatalf("semisort with pprof labels: %v", err)
+	}
+	checkSemisorted(t, "pprof labels", a, out)
+}

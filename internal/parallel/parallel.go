@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/obsv"
 )
 
 // DefaultProcs returns the worker count used when a caller passes procs <= 0:
@@ -121,6 +122,7 @@ func ForCtx(ctx context.Context, procs, n, grain int, body func(lo, hi int)) err
 			if c >= nchunks {
 				return
 			}
+			obsv.CountChunk()
 			lo := c * grain
 			hi := lo + grain
 			if hi > n {
@@ -258,6 +260,7 @@ func (l *Limiter) Join(a, b func()) {
 	}
 	select {
 	case l.tokens <- struct{}{}:
+		obsv.CountLimiterSpawn(len(l.tokens))
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
@@ -268,6 +271,7 @@ func (l *Limiter) Join(a, b func()) {
 		fp.note(capture(a))
 		wg.Wait()
 	default:
+		obsv.CountLimiterInline()
 		fp.note(capture(a))
 		if !fp.tripped() {
 			fp.note(capture(b))
@@ -297,6 +301,7 @@ func (l *Limiter) JoinAll(fns ...func()) {
 	for _, fn := range fns {
 		select {
 		case l.tokens <- struct{}{}:
+			obsv.CountLimiterSpawn(len(l.tokens))
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -304,6 +309,7 @@ func (l *Limiter) JoinAll(fns ...func()) {
 				fp.note(capture(fn))
 			}()
 		default:
+			obsv.CountLimiterInline()
 			inline = append(inline, fn)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/obsv"
 )
 
 // Pool is a work-stealing fork–join scheduler: the Go analogue of the Cilk
@@ -144,6 +145,7 @@ func (w *worker) exec(t *task) {
 // escape on a goroutine nobody recovers on; waitFor re-raises the capture
 // on the joining goroutine.
 func (p *Pool) runTask(t *task) {
+	obsv.CountPoolTask()
 	t.pe = capture(func() {
 		if fault.Should(fault.WorkerPanic) {
 			panic(fault.PanicValue)
@@ -198,19 +200,27 @@ func (v *worker) stealFrom() *task {
 	return t
 }
 
-// steal tries every victim once in random order.
+// steal tries every victim once in random order. A full scan that finds
+// every deque empty counts as one failed steal attempt (a pool with a
+// single worker has no victims and records nothing).
 func (w *worker) steal() *task {
 	n := len(w.pool.workers)
 	start := rand.IntN(n)
+	scanned := false
 	for i := 0; i < n; i++ {
 		v := w.pool.workers[(start+i)%n]
 		if v == w {
 			continue
 		}
+		scanned = true
 		if t := v.stealFrom(); t != nil {
 			w.pool.Steals.Add(1)
+			obsv.CountSteal()
 			return t
 		}
+	}
+	if scanned {
+		obsv.CountFailedSteal()
 	}
 	return nil
 }
@@ -266,6 +276,7 @@ func (p *Pool) helpOnce() bool {
 	for i := 0; i < n; i++ {
 		v := p.workers[(start+i)%n]
 		if t := v.stealFrom(); t != nil {
+			obsv.CountHelpRun()
 			p.runTask(t)
 			return true
 		}

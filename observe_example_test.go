@@ -1,0 +1,37 @@
+package semisort_test
+
+import (
+	"fmt"
+
+	semisort "repro"
+)
+
+// ExampleConfig_observer traces one semisort call with the in-memory
+// Collector: a clean run is a single "fresh" attempt whose six phase
+// spans arrive in pipeline order.
+func ExampleConfig_observer() {
+	recs := make([]semisort.Record, 20000)
+	for i := range recs {
+		recs[i] = semisort.Record{Key: uint64(i % 100), Value: uint64(i)}
+	}
+
+	var trace semisort.Collector
+	out, _ := semisort.Records(recs, &semisort.Config{Procs: 2, Observer: &trace})
+	fmt.Println("semisorted:", semisort.IsSemisorted(out))
+
+	for _, a := range trace.Attempts() {
+		fmt.Printf("attempt %d (%s):\n", a.Index, a.Kind)
+	}
+	for _, s := range trace.Spans() {
+		fmt.Printf("  %-9s %s\n", s.Phase, s.Outcome)
+	}
+	// Output:
+	// semisorted: true
+	// attempt 0 (fresh):
+	//   sample    ok
+	//   classify  ok
+	//   allocate  ok
+	//   scatter   ok
+	//   localsort ok
+	//   pack      ok
+}
