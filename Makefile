@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz check repro repro-quick examples clean
+.PHONY: all build vet test race cover bench fuzz check stress repro repro-quick examples clean
 
 all: build vet test
 
@@ -22,6 +22,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# stress mirrors the CI race-stress matrix: core + parallel under the race
+# detector at several GOMAXPROCS, repeated, so both scatter strategies see
+# varied interleavings.
+stress:
+	for p in 1 2 8; do \
+		GOMAXPROCS=$$p $(GO) test -race -count=3 -short ./internal/core/... ./internal/parallel/... || exit 1; \
+	done
 
 cover:
 	$(GO) test -cover ./...

@@ -12,7 +12,7 @@
 //	semibench -compare BENCH_semisort.json                            # CI perf gate
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5
-// seqbaselines rrcompare schedulers ablation faults observe all.
+// seqbaselines rrcompare schedulers ablation scatter faults observe all.
 package main
 
 import (
@@ -40,6 +40,7 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 	"rrcompare":    bench.RunRRCompare,
 	"schedulers":   bench.RunSchedulers,
 	"ablation":     bench.RunAblation,
+	"scatter":      bench.RunScatter,
 	"faults":       bench.RunFaults,
 	"observe":      bench.RunObserve,
 }
@@ -48,7 +49,7 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 var order = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "seqbaselines", "rrcompare", "schedulers", "ablation",
-	"faults", "observe",
+	"scatter", "faults", "observe",
 }
 
 func main() {

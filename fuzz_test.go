@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rec"
+	"repro/internal/seqsemi"
 )
 
 // FuzzRecords drives the full semisort with arbitrary byte-derived keys
@@ -95,18 +96,26 @@ func FuzzBy(f *testing.F) {
 }
 
 // FuzzSizeEstimateConfigs stresses unusual Config combinations on a fixed
-// input through the core directly.
+// input through the core directly, checking every output against the
+// sequential reference's grouping.
 func FuzzConfigs(f *testing.F) {
-	f.Add(uint8(16), uint8(16), uint16(1024), false, false, uint8(0))
-	f.Add(uint8(1), uint8(1), uint16(1), true, true, uint8(1))
-	f.Add(uint8(63), uint8(63), uint16(65535), false, true, uint8(2))
+	f.Add(uint8(16), uint8(16), uint16(1024), false, false, uint8(0), uint8(0))
+	f.Add(uint8(1), uint8(1), uint16(1), true, true, uint8(1), uint8(0))
+	f.Add(uint8(63), uint8(63), uint16(65535), false, true, uint8(2), uint8(1))
+	// Counting-path seeds: linear probing (anything else forces the
+	// probing scatter) with the counting strategy across the sizing and
+	// merging extremes.
+	f.Add(uint8(16), uint8(16), uint16(1024), false, false, uint8(0), uint8(2))
+	f.Add(uint8(1), uint8(1), uint16(1), true, true, uint8(0), uint8(2))
+	f.Add(uint8(63), uint8(2), uint16(65535), false, true, uint8(0), uint8(2))
 
 	base := make([]rec.Record, 3000)
 	for i := range base {
 		base[i] = rec.Record{Key: uint64(i%37) * 0x9e3779b97f4a7c15, Value: uint64(i)}
 	}
+	refKeys := rec.KeyCounts(seqsemi.TwoPhase(append([]rec.Record(nil), base...)))
 
-	f.Fuzz(func(t *testing.T, rate, delta uint8, buckets uint16, merge, exact bool, probe uint8) {
+	f.Fuzz(func(t *testing.T, rate, delta uint8, buckets uint16, merge, exact bool, probe, strat uint8) {
 		cfg := &core.Config{
 			Procs:                2,
 			SampleRate:           int(rate%64) + 1,
@@ -116,6 +125,7 @@ func FuzzConfigs(f *testing.F) {
 			ExactBucketSizes:     exact,
 			Probe:                core.ProbeKind(probe % 2),
 			LocalSort:            core.LocalSortKind(probe % 2),
+			ScatterStrategy:      core.ScatterStrategy(strat % 3),
 			Seed:                 uint64(rate) ^ uint64(buckets),
 		}
 		out, _, err := core.Semisort(base, cfg)
@@ -124,6 +134,15 @@ func FuzzConfigs(f *testing.F) {
 		}
 		if !rec.IsSemisorted(out) || !rec.SamePermutation(base, out) {
 			t.Fatalf("config %+v produced invalid output", cfg)
+		}
+		got := rec.KeyCounts(out)
+		if len(got) != len(refKeys) {
+			t.Fatalf("config %+v: %d distinct keys, reference has %d", cfg, len(got), len(refKeys))
+		}
+		for k, c := range refKeys {
+			if got[k] != c {
+				t.Fatalf("config %+v: key %#x count %d, reference %d", cfg, k, got[k], c)
+			}
 		}
 	})
 }

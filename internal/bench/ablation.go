@@ -24,6 +24,9 @@ func RunAblation(o Options) []*Table {
 	run := func(cfg core.Config) (time.Duration, core.Stats, time.Duration, core.Stats) {
 		cfg.Procs = P
 		cfg.Seed = o.Seed + 7
+		// Probing pinned: every knob here ablates the paper's CAS-scatter
+		// pipeline; Auto would reroute the exponential workload.
+		cfg.ScatterStrategy = core.ScatterProbing
 		var es, us core.Stats
 		et := timeIt(o.Reps, func() {
 			_, st, err := core.Semisort(exp, &cfg)

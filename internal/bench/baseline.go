@@ -44,7 +44,9 @@ type Baseline struct {
 
 // MeasureBaseline measures the uninstrumented semisort (no Observer —
 // the baseline captures production performance) on the seeded uniform
-// distribution and returns the per-phase minima.
+// distribution (pinned to the probing scatter) and returns the per-phase
+// minima, plus counting_* keys covering the counting scatter on the
+// duplicate-heavy exponential workload so both placements are gated.
 func MeasureBaseline(o Options) Baseline {
 	o = o.withDefaults()
 	P := o.MaxProcs()
@@ -53,7 +55,8 @@ func MeasureBaseline(o Options) Baseline {
 	phases := map[string]time.Duration{}
 	total := time.Duration(1<<63 - 1)
 	for r := 0; r < o.Reps; r++ {
-		_, st, err := core.SemisortWS(&ws, a, &core.Config{Procs: P, Seed: o.Seed + 7})
+		_, st, err := core.SemisortWS(&ws, a, &core.Config{Procs: P, Seed: o.Seed + 7,
+			ScatterStrategy: core.ScatterProbing})
 		if err != nil {
 			panic(err)
 		}
@@ -72,12 +75,39 @@ func MeasureBaseline(o Options) Baseline {
 			total = t
 		}
 	}
+
+	// Counting path: its own minima on the heavy-duplicate workload. The
+	// keys ride in PhasesSec so Compare gates them automatically once a
+	// baseline stores them; older baselines without the keys still compare
+	// cleanly (Compare iterates the stored baseline's keys).
+	exp := distgen.Generate(P, o.N, repExponential(o.N), o.Seed)
+	counting := map[string]time.Duration{}
+	for r := 0; r < o.Reps; r++ {
+		_, st, err := core.SemisortWS(&ws, exp, &core.Config{Procs: P, Seed: o.Seed + 7,
+			ScatterStrategy: core.ScatterCounting})
+		if err != nil {
+			panic(err)
+		}
+		for name, d := range map[string]time.Duration{
+			"counting_scatter":   st.Phases.Scatter,
+			"counting_localsort": st.Phases.LocalSort,
+			"counting_total":     st.Phases.Total(),
+		} {
+			if old, ok := counting[name]; !ok || d < old {
+				counting[name] = d
+			}
+		}
+	}
+
 	b := Baseline{
 		N: o.N, Procs: P, Reps: o.Reps, Seed: o.Seed,
-		PhasesSec: make(map[string]float64, len(phases)),
+		PhasesSec: make(map[string]float64, len(phases)+len(counting)),
 		TotalSec:  total.Seconds(),
 	}
 	for name, d := range phases {
+		b.PhasesSec[name] = d.Seconds()
+	}
+	for name, d := range counting {
 		b.PhasesSec[name] = d.Seconds()
 	}
 	return b

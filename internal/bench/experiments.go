@@ -28,11 +28,15 @@ const heavyThreshold = 256
 
 // semisortTime runs the semisort and returns the best wall-clock time. A
 // reused workspace keeps allocation out of the measurement, matching the
-// paper's preallocated C++ implementation.
+// paper's preallocated C++ implementation. The scatter is pinned to
+// probing: these tables reproduce the paper's CAS-scatter numbers, which
+// Auto would silently swap out on duplicate-heavy distributions (the
+// counting alternative gets its own head-to-head in RunScatter).
 func semisortTime(a []rec.Record, procs, reps int, seed uint64) time.Duration {
 	var ws core.Workspace
 	return timeIt(reps, func() {
-		if _, _, err := core.SemisortWS(&ws, a, &core.Config{Procs: procs, Seed: seed}); err != nil {
+		cfg := &core.Config{Procs: procs, Seed: seed, ScatterStrategy: core.ScatterProbing}
+		if _, _, err := core.SemisortWS(&ws, a, cfg); err != nil {
 			panic(err)
 		}
 	})
@@ -112,7 +116,9 @@ func breakdown(o Options, title string, spec distgen.Spec) *Table {
 		var out core.Stats
 		bestTotal := time.Duration(1<<63 - 1)
 		for r := 0; r < o.Reps; r++ {
-			_, st, err := core.SemisortWS(&ws, a, &core.Config{Procs: procs, Seed: o.Seed + 7})
+			// Probing pinned: the breakdown reproduces the paper's scatter.
+			_, st, err := core.SemisortWS(&ws, a, &core.Config{Procs: procs, Seed: o.Seed + 7,
+				ScatterStrategy: core.ScatterProbing})
 			if err != nil {
 				panic(err)
 			}

@@ -54,7 +54,9 @@ func RunFaults(o Options) []*Table {
 	var ws core.Workspace
 	for _, sc := range scenarios {
 		inj := sc.arm()
-		cfg := core.Config{Procs: procs, Seed: o.Seed + 7}
+		// Probing pinned: the scenarios arm scatter-overflow faults, which
+		// only the probing path consults.
+		cfg := core.Config{Procs: procs, Seed: o.Seed + 7, ScatterStrategy: core.ScatterProbing}
 		if sc.cfg != nil {
 			sc.cfg(&cfg)
 		}

@@ -38,7 +38,8 @@ func RunObserve(o Options) []*Table {
 	var best core.Stats
 	bestTotal := time.Duration(1<<63 - 1)
 	for r := 0; r < o.Reps; r++ {
-		_, st, err := core.SemisortWS(&ws, a, &core.Config{Procs: P, Seed: o.Seed + 7, Observer: obs})
+		_, st, err := core.SemisortWS(&ws, a, &core.Config{Procs: P, Seed: o.Seed + 7, Observer: obs,
+			ScatterStrategy: core.ScatterProbing})
 		if err != nil {
 			panic(err)
 		}

@@ -16,7 +16,11 @@
 //     phase-concurrent hash table. Adjacent light buckets with fewer than
 //     Delta samples are merged (the ~10% memory optimization of Phase 2).
 //  3. Scattering: write every record to a pseudo-random slot of its bucket,
-//     claiming slots with compare-and-swap and linear probing on collision.
+//     claiming slots with compare-and-swap and linear probing on collision —
+//     or, when Config.ScatterStrategy selects (or the sample predicts) heavy
+//     duplication, place records with a deterministic two-pass counting
+//     scatter that computes exact per-bucket offsets and needs no atomics
+//     (see counting.go).
 //  4. Local sort: compact each light bucket and semisort it locally
 //     (hybrid comparison sort by default, or the Rajasekaran–Reif style
 //     naming + two-pass counting sort).
@@ -90,6 +94,38 @@ const (
 	ProbeBlockRounds
 )
 
+// ScatterStrategy selects the Phase 3 placement algorithm.
+type ScatterStrategy int
+
+const (
+	// ScatterAuto resolves the strategy per attempt from the sample:
+	// counting when at least autoHeavySampleFrac of the sampled keys fall
+	// in heavy runs (duplication makes CAS contention expensive and the
+	// histogram cheap), probing otherwise. The zero value.
+	ScatterAuto ScatterStrategy = iota
+	// ScatterProbing is the paper's placement: a pseudo-random slot per
+	// record, claimed with CAS, probing on collision (parameterized by
+	// Config.Probe). Overflow triggers the Las Vegas retry ladder.
+	ScatterProbing
+	// ScatterCounting is the deterministic two-pass counting scatter: a
+	// per-block histogram over bucket ids, prefix sums to exact write
+	// cursors, then blocked writes through per-worker staging buffers
+	// that flush cache-line-sized runs. No CAS, no probing, and no
+	// overflow retries — the offsets are exact, so the path cannot fail.
+	ScatterCounting
+)
+
+func (s ScatterStrategy) String() string {
+	switch s {
+	case ScatterProbing:
+		return "probing"
+	case ScatterCounting:
+		return "counting"
+	default:
+		return "auto"
+	}
+}
+
 // Config holds the algorithm's tuning parameters. The zero value selects
 // the paper's defaults (Section 4): p = 1/16, δ = 16, 2^16 light buckets,
 // c = 1.25, slack 1.1, bucket merging on, hybrid local sort, linear
@@ -120,8 +156,16 @@ type Config struct {
 	ExactBucketSizes bool
 	// LocalSort selects the Phase 4 algorithm.
 	LocalSort LocalSortKind
-	// Probe selects the Phase 3 collision strategy.
+	// Probe selects the Phase 3 collision strategy (probing scatter only).
+	// A non-linear probe kind forces ScatterProbing — the alternative
+	// probes parameterize the probing placement, so combining them with
+	// the counting scatter would be meaningless.
 	Probe ProbeKind
+	// ScatterStrategy selects the Phase 3 placement: the paper's CAS +
+	// probing scatter, the deterministic two-pass counting scatter, or
+	// (the default) an automatic per-attempt choice driven by the
+	// sample's heavy fraction.
+	ScatterStrategy ScatterStrategy
 	// MaxRetries bounds Las Vegas restarts after bucket overflow. The
 	// retry policy is adaptive: the first restarts regrow only the
 	// buckets that overflowed (keeping the same sample); persistent
@@ -225,8 +269,19 @@ type Stats struct {
 	// to claim a slot in Phase 3 — the empirical counterpart of the
 	// paper's O(log n) w.h.p. probe-cluster bound (Section 3, placement
 	// problem). A value far above ~log2(n) means the size estimate f(s)
-	// is too tight for the workload.
+	// is too tight for the workload. Always zero on the counting path,
+	// which does not probe.
 	MaxProbeCluster int
+
+	// ScatterStrategy names the Phase 3 placement the last attempt used:
+	// "probing" or "counting" (ScatterAuto resolves to one of the two
+	// per attempt, from that attempt's sample). Empty only when no
+	// attempt reached Phase 2.
+	ScatterStrategy string
+	// ScatterFlushes counts the staging-buffer flushes the counting
+	// scatter performed (full cache-line flushes plus end-of-block
+	// drains); zero on the probing path or when staging was bypassed.
+	ScatterFlushes int64
 
 	// Recovery bookkeeping (Attempts == 1 and the rest zero on a clean
 	// first-attempt success).
@@ -292,6 +347,7 @@ type Workspace struct {
 	sampleScratch []uint64
 	slots         []rec.Record
 	occ           []uint32
+	hist          []int32
 }
 
 // getSample returns sample key buffers of length ns.
@@ -301,6 +357,18 @@ func (w *Workspace) getSample(ns int) (sample, scratch []uint64) {
 		w.sampleScratch = make([]uint64, ns)
 	}
 	return w.sample[:ns], w.sampleScratch[:ns]
+}
+
+// getHist returns a zeroed int32 scratch of length m for the counting
+// scatter's per-block histograms.
+func (w *Workspace) getHist(m int) []int32 {
+	if cap(w.hist) < m {
+		w.hist = make([]int32, m)
+		return w.hist
+	}
+	h := w.hist[:m]
+	clear(h)
+	return h
 }
 
 // getSlots returns a slot array and cleared occupancy flags of length total.
@@ -532,6 +600,24 @@ func (t *tracer) span(attempt int, ph obsv.Phase, start time.Time, outcome strin
 	})
 }
 
+// scatterSpan closes a scatter span like span(), additionally attaching
+// the strategy attribute and, on the counting path, the staging-flush
+// counter.
+func (t *tracer) scatterSpan(attempt int, start time.Time, outcome string, strat ScatterStrategy, flushes int64) {
+	if t.obs == nil {
+		return
+	}
+	t.obs.PhaseEnd(obsv.Span{
+		Attempt:  attempt,
+		Phase:    obsv.PhaseScatter,
+		Start:    start.Sub(t.epoch),
+		Duration: time.Since(start),
+		Outcome:  outcome,
+		Strategy: strat.String(),
+		Flushes:  flushes,
+	})
+}
+
 func (t *tracer) attemptStart(a obsv.Attempt) {
 	if t.obs != nil {
 		t.obs.AttemptStart(a)
@@ -594,6 +680,31 @@ func sizeEstimate(s int, logn float64, c, slack float64, rate int, exact bool) i
 		return size
 	}
 	return 1 << uint(bits.Len(uint(size-1)))
+}
+
+// autoHeavySampleFrac is the ScatterAuto decision threshold: when at
+// least this fraction of the sample fell in heavy runs, the input is
+// duplicate-heavy enough that the counting scatter's extra histogram pass
+// costs less than the CAS contention it removes. At the representative
+// workloads, exponential λ=n/10^3 (~70% heavy) and Zipf M=10^4 (~2/3
+// heavy) resolve to counting; uniform N=n (no heavy keys) to probing.
+const autoHeavySampleFrac = 0.5
+
+// resolveScatter picks the Phase 3 placement for one attempt. Non-linear
+// probe kinds parameterize the probing scatter and force it; an empty
+// sample gives Auto nothing to predict with and falls back to probing.
+func resolveScatter(c *Config, heavySamples, ns int) ScatterStrategy {
+	if c.Probe != ProbeLinear {
+		return ScatterProbing
+	}
+	switch c.ScatterStrategy {
+	case ScatterProbing, ScatterCounting:
+		return c.ScatterStrategy
+	}
+	if ns > 0 && float64(heavySamples) >= autoHeavySampleFrac*float64(ns) {
+		return ScatterCounting
+	}
+	return ScatterProbing
 }
 
 // semisortOnce runs one Las Vegas attempt. sampleAttempt seeds the
@@ -686,7 +797,8 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 	}
 	lightCounts := make([]int32, numLight)
 	heavyLists := make([][]heavyRun, 0)
-	var heavyMu atomic.Int64 // count of heavy keys (cheap stat)
+	var heavyMu atomic.Int64      // count of heavy keys (cheap stat)
+	var heavySamples atomic.Int64 // sample hits in heavy runs (Auto signal)
 	tr.labeled("classify", func() {
 		grain := parallel.Grain(numRuns, procs, 512)
 		nblocks := 0
@@ -698,6 +810,7 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 			for blk := blo; blk < bhi; blk++ {
 				s, e := blk*grain, min((blk+1)*grain, numRuns)
 				var local []heavyRun
+				var localSamp int64
 				for ri := s; ri < e; ri++ {
 					start := int(runStarts[ri])
 					end := ns
@@ -707,6 +820,7 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 					count := int32(end - start)
 					if int(count) >= c.Delta {
 						local = append(local, heavyRun{key: sample[start], count: count})
+						localSamp += int64(count)
 					} else {
 						b := sample[start] >> shift
 						atomic.AddInt32(&lightCounts[b], count)
@@ -714,10 +828,13 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 				}
 				heavyLists[blk] = local
 				heavyMu.Add(int64(len(local)))
+				heavySamples.Add(localSamp)
 			}
 		})
 	})
 	numHeavy := int(heavyMu.Load())
+	strat := resolveScatter(&c, int(heavySamples.Load()), ns)
+	stats.ScatterStrategy = strat.String()
 	tr.span(attempt, obsv.PhaseClassify, t0, obsv.OutcomeOK)
 	tr.phaseStart(attempt, obsv.PhaseAllocate)
 	tAlloc := time.Now()
@@ -784,17 +901,33 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 	}
 	numLightMerged := len(buckets) - firstLight
 
-	if c.MaxSlotBytes > 0 && slotTotal*16 > c.MaxSlotBytes {
-		stats.Phases.Buckets = time.Since(t0)
-		tr.span(attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
-		return nil, stats, fmt.Errorf("%w: need %d slot bytes, cap %d",
-			errSlotCap, slotTotal*16, c.MaxSlotBytes)
+	var slots []rec.Record
+	var occ []uint32
+	var plan countingPlan
+	if strat == ScatterCounting {
+		// The counting scatter writes straight into the output array, so
+		// the attempt allocates no slot slack — only the histogram and
+		// staging scratch, which the same memory cap governs.
+		plan = planCounting(n, procs, len(buckets))
+		if c.MaxSlotBytes > 0 && plan.scratchBytes > c.MaxSlotBytes {
+			stats.Phases.Buckets = time.Since(t0)
+			tr.span(attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
+			return nil, stats, fmt.Errorf("%w: counting scatter needs %d scratch bytes, cap %d",
+				errSlotCap, plan.scratchBytes, c.MaxSlotBytes)
+		}
+		stats.SlotsAllocated = n
+	} else {
+		if c.MaxSlotBytes > 0 && slotTotal*16 > c.MaxSlotBytes {
+			stats.Phases.Buckets = time.Since(t0)
+			tr.span(attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
+			return nil, stats, fmt.Errorf("%w: need %d slot bytes, cap %d",
+				errSlotCap, slotTotal*16, c.MaxSlotBytes)
+		}
+		slots, occ = ws.getSlots(slotTotal)
+		stats.SlotsAllocated = int(slotTotal)
 	}
-
-	slots, occ := ws.getSlots(slotTotal)
 	stats.HeavyKeys = numHeavy
 	stats.LightBuckets = numLightMerged
-	stats.SlotsAllocated = int(slotTotal)
 	stats.Phases.Buckets = time.Since(t0)
 	tr.span(attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeOK)
 
@@ -805,12 +938,6 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 	}
 	tr.phaseStart(attempt, obsv.PhaseScatter)
 	t0 = time.Now()
-	scatterRNG := hash.NewRNG(c.Seed ^ (uint64(scatterAttempt)+1)*0xd1342543de82ef95)
-	if fault.Should(fault.ScatterOverflow) {
-		stats.Phases.Scatter = time.Since(t0)
-		tr.span(attempt, obsv.PhaseScatter, t0, obsv.OutcomeOverflow)
-		return nil, stats, &overflowError{buckets: map[int32]int32{0: 1}}
-	}
 
 	// bucketOf resolves a record to its bucket id and whether it took the
 	// heavy path.
@@ -827,6 +954,73 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 		}
 		// lightBucketOf stores absolute bucket indices.
 		return int64(lightBucketOf[r.Key>>shift]), false
+	}
+
+	if strat == ScatterCounting {
+		// Counting scatter: two deterministic passes place every record at
+		// its final packed position in the output — exact per-bucket
+		// offsets mean no CAS, no probing and no overflow, so this path
+		// never retries (and the ScatterOverflow injection point, which
+		// models probe-slack exhaustion, does not apply). Phases 4 and 5
+		// still run so traces keep the six-phase shape, but packing is a
+		// no-op: the scatter already packed.
+		out := make([]rec.Record, n)
+		var cres countingResult
+		var cErr error
+		tr.labeled("scatter", func() {
+			cres, cErr = scatterCounting(ctx, procs, a, len(buckets), bucketOf, out, plan, ws)
+		})
+		if cErr != nil {
+			tr.scatterSpan(attempt, t0, obsv.OutcomeCanceled, strat, 0)
+			return nil, stats, fmt.Errorf("semisort: canceled at scatter: %w", cErr)
+		}
+		stats.HeavyRecords = int(cres.base[firstLight])
+		stats.ScatterFlushes = cres.flushes
+		stats.Phases.Scatter = time.Since(t0)
+		tr.scatterSpan(attempt, t0, obsv.OutcomeOK, strat, cres.flushes)
+
+		// Phase 4: local sort of light buckets, in place in the output.
+		if err := phaseGate(ctx, "local sort"); err != nil {
+			return nil, stats, err
+		}
+		tr.phaseStart(attempt, obsv.PhaseLocalSort)
+		t0 = time.Now()
+		var lsErr error
+		tr.labeled("localsort", func() {
+			lsErr = parallel.ForEachCtx(ctx, procs, numLightMerged, 1, func(j int) {
+				b := firstLight + j
+				lo := int(cres.base[b])
+				localSortSeg(c.LocalSort, out[lo:lo+int(cres.counts[b])])
+			})
+		})
+		if lsErr != nil {
+			tr.span(attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeCanceled)
+			return nil, stats, fmt.Errorf("semisort: canceled at local sort: %w", lsErr)
+		}
+		stats.Phases.LocalSort = time.Since(t0)
+		tr.span(attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeOK)
+
+		// Phase 5: packing — already done by the scatter; the span is kept
+		// so every strategy traces the same phase sequence.
+		if err := phaseGate(ctx, "pack"); err != nil {
+			return nil, stats, err
+		}
+		tr.phaseStart(attempt, obsv.PhasePack)
+		t0 = time.Now()
+		stats.Phases.Pack = time.Since(t0)
+		tr.span(attempt, obsv.PhasePack, t0, obsv.OutcomeOK)
+
+		if cres.total != n {
+			return nil, stats, fmt.Errorf("semisort internal error: counting scatter placed %d of %d records", cres.total, n)
+		}
+		return out, stats, nil
+	}
+
+	scatterRNG := hash.NewRNG(c.Seed ^ (uint64(scatterAttempt)+1)*0xd1342543de82ef95)
+	if fault.Should(fault.ScatterOverflow) {
+		stats.Phases.Scatter = time.Since(t0)
+		tr.scatterSpan(attempt, t0, obsv.OutcomeOverflow, strat, 0)
+		return nil, stats, &overflowError{buckets: map[int32]int32{0: 1}}
 	}
 
 	var overflow atomic.Bool
@@ -859,7 +1053,7 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 			if errors.Is(brErr, ErrOverflow) {
 				outcome = obsv.OutcomeOverflow
 			}
-			tr.span(attempt, obsv.PhaseScatter, t0, outcome)
+			tr.scatterSpan(attempt, t0, outcome, strat, 0)
 			return nil, stats, brErr
 		}
 	} else {
@@ -919,19 +1113,19 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 			scatterErr = parallel.ForCtx(ctx, procs, n, 8192, scatterBody)
 		})
 		if scatterErr != nil {
-			tr.span(attempt, obsv.PhaseScatter, t0, obsv.OutcomeCanceled)
+			tr.scatterSpan(attempt, t0, obsv.OutcomeCanceled, strat, 0)
 			return nil, stats, fmt.Errorf("semisort: canceled at scatter: %w", scatterErr)
 		}
 		if overflow.Load() {
 			stats.Phases.Scatter = time.Since(t0)
-			tr.span(attempt, obsv.PhaseScatter, t0, obsv.OutcomeOverflow)
+			tr.scatterSpan(attempt, t0, obsv.OutcomeOverflow, strat, 0)
 			return nil, stats, &overflowError{buckets: ofBuckets}
 		}
 	}
 	stats.HeavyRecords = int(heavyPlaced.Load())
 	stats.MaxProbeCluster = int(maxCluster.Load())
 	stats.Phases.Scatter = time.Since(t0)
-	tr.span(attempt, obsv.PhaseScatter, t0, obsv.OutcomeOK)
+	tr.scatterSpan(attempt, t0, obsv.OutcomeOK, strat, 0)
 
 	// ------------------------------------------------------------------
 	// Phase 4: local sort of light buckets (compact, then semisort).
@@ -955,15 +1149,7 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 			}
 			cnt := int(w - lo)
 			lightCnt[j] = int32(cnt)
-			seg := slots[lo : lo+int64(cnt)]
-			switch c.LocalSort {
-			case LocalSortCounting:
-				countingSemisort(seg)
-			case LocalSortBucket:
-				bucketLocalSort(seg)
-			default:
-				sortcmp.Introsort(seg)
-			}
+			localSortSeg(c.LocalSort, slots[lo:lo+int64(cnt)])
 		})
 	})
 	if lsErr != nil {
@@ -1043,6 +1229,20 @@ func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatte
 		return nil, stats, fmt.Errorf("semisort internal error: packed %d of %d records", heavyTotal+int(lightTotal), n)
 	}
 	return out, stats, nil
+}
+
+// localSortSeg groups one light bucket's records in place with the
+// configured local-sort algorithm (Phase 4); both scatter strategies
+// share it.
+func localSortSeg(kind LocalSortKind, seg []rec.Record) {
+	switch kind {
+	case LocalSortCounting:
+		countingSemisort(seg)
+	case LocalSortBucket:
+		bucketLocalSort(seg)
+	default:
+		sortcmp.Introsort(seg)
+	}
 }
 
 // countingSemisort groups equal keys in seg using the naming problem (a

@@ -437,24 +437,6 @@ func TestCountingSemisortQuick(t *testing.T) {
 	}
 }
 
-func TestScatterPack(t *testing.T) {
-	for _, procs := range []int{1, 4} {
-		for _, n := range []int{0, 1, 100, 100000} {
-			a := mkRecords(n, 100, int64(n))
-			out, times := ScatterPack(procs, a, 7)
-			if len(out) != n {
-				t.Fatalf("procs=%d n=%d: output length %d", procs, n, len(out))
-			}
-			if !rec.SamePermutation(a, out) {
-				t.Fatalf("procs=%d n=%d: scatter+pack lost records", procs, n)
-			}
-			if n > 0 && times.Total() <= 0 {
-				t.Error("scatter+pack times not recorded")
-			}
-		}
-	}
-}
-
 func BenchmarkSemisortUniform1M(b *testing.B) {
 	const n = 1 << 20
 	a := mkRecords(n, uint64(n), 1)

@@ -1,0 +1,222 @@
+// Counting scatter: the deterministic two-pass alternative to the CAS
+// scatter of Phase 3 (ScatterCounting, and the Auto pick under heavy
+// duplication).
+//
+// Pass 1 splits the input into blocks and builds one bucket histogram per
+// block. Column-wise prefix sums over the per-block histograms — seeded
+// with an exclusive scan of the per-bucket totals — turn each histogram
+// row into a set of absolute write cursors, so pass 2 can copy every
+// record straight to its final position in the packed output array. The
+// offsets are exact: no CAS, no probing, no overflow, and therefore no
+// Las Vegas retry on this path.
+//
+// The output is deterministic regardless of block boundaries or worker
+// count: bucket b's records appear in global input order because block i's
+// cursor for b starts exactly where blocks 0..i-1 left off. Buckets own
+// disjoint output ranges and blocks own disjoint cursor rows, so pass 2
+// needs no atomics at all.
+//
+// When the bucket count is small relative to the block size, pass 2
+// routes records through small per-worker staging buffers
+// (countingStageSlots records — one cache line — per bucket) and flushes
+// full lines with a single copy, converting scattered single-record
+// stores into sequential line-sized writes (the software write-combining
+// trick from the integer-sort literature). With many buckets the staging
+// arrays would thrash the cache themselves, so the plan falls back to
+// direct stores.
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+	"repro/internal/rec"
+)
+
+const (
+	// countingGrainMin is the minimum records per pass-1/pass-2 block;
+	// below this the per-block histogram dominates the work.
+	countingGrainMin = 4096
+	// countingStageSlots is the records buffered per bucket before a
+	// staged flush — 4 × 16-byte records = one 64-byte cache line.
+	countingStageSlots = 4
+)
+
+// A countingPlan fixes the blocking of both counting-scatter passes and
+// prices the scratch memory the attempt will need, so the allocate phase
+// can enforce Config.MaxSlotBytes before anything is allocated.
+type countingPlan struct {
+	grain, nblocks int
+	// staged reports whether pass 2 will write through per-worker staging
+	// buffers; with more buckets than records per block the buffers would
+	// outweigh the writes they batch.
+	staged bool
+	// scratchBytes prices the per-block histograms plus (when staged) the
+	// per-worker staging buffers.
+	scratchBytes int64
+}
+
+func planCounting(n, procs, nb int) countingPlan {
+	grain := parallel.Grain(n, procs, countingGrainMin)
+	nblocks := 0
+	if n > 0 {
+		nblocks = (n + grain - 1) / grain
+	}
+	staged := nb <= grain
+	scratch := int64(nblocks) * int64(nb) * 4
+	if staged {
+		// Each in-flight stage holds nb*countingStageSlots records plus
+		// one fill counter per bucket; at most procs are in flight.
+		scratch += int64(procs) * int64(nb) * (countingStageSlots*16 + 1)
+	}
+	return countingPlan{grain: grain, nblocks: nblocks, staged: staged, scratchBytes: scratch}
+}
+
+// A countingResult reports the placement the scatter computed: per-bucket
+// record counts, each bucket's starting offset in the output (the
+// exclusive scan of counts), the number of staged line flushes, and the
+// total records placed.
+type countingResult struct {
+	counts, base []int32
+	flushes      int64
+	total        int
+}
+
+// countingStage is one worker's staging area: countingStageSlots output
+// records per bucket plus a fill counter. Stages are pooled across blocks
+// and attempts; every user drains its counters back to zero before put,
+// so a pooled stage's cnt is always all-zero.
+type countingStage struct {
+	buf []rec.Record
+	cnt []uint8
+}
+
+var stagePool sync.Pool
+
+func getStage(nb int) *countingStage {
+	if v := stagePool.Get(); v != nil {
+		st := v.(*countingStage)
+		if cap(st.buf) >= nb*countingStageSlots {
+			st.buf = st.buf[:nb*countingStageSlots]
+			st.cnt = st.cnt[:nb]
+			return st
+		}
+	}
+	return &countingStage{
+		buf: make([]rec.Record, nb*countingStageSlots),
+		cnt: make([]uint8, nb),
+	}
+}
+
+func putStage(st *countingStage) { stagePool.Put(st) }
+
+// scatterCounting places every record of a into out — packed, grouped by
+// bucket, buckets in id order, records of a bucket in input order — using
+// the two-pass plan. out must have len(a) capacity-backed elements;
+// bucketOf must be pure and return ids in [0, nb).
+func scatterCounting(ctx context.Context, procs int, a []rec.Record, nb int,
+	bucketOf func(rec.Record) (int64, bool), out []rec.Record,
+	plan countingPlan, ws *Workspace) (countingResult, error) {
+
+	hist := ws.getHist(plan.nblocks * nb)
+
+	// Pass 1: one bucket histogram per block.
+	err := parallel.ForCtx(ctx, procs, plan.nblocks, 1, func(blo, bhi int) {
+		for blk := blo; blk < bhi; blk++ {
+			h := hist[blk*nb : (blk+1)*nb]
+			lo, hi := blk*plan.grain, min((blk+1)*plan.grain, len(a))
+			for i := lo; i < hi; i++ {
+				bid, _ := bucketOf(a[i])
+				h[bid]++
+			}
+		}
+	})
+	if err != nil {
+		return countingResult{}, err
+	}
+
+	// Per-bucket totals (column sums), bucket base offsets (their
+	// exclusive scan), then column-wise conversion of each block's
+	// histogram entry into an absolute write cursor.
+	counts := make([]int32, nb)
+	base := make([]int32, nb)
+	parallel.For(procs, nb, 512, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			var s int32
+			for blk := 0; blk < plan.nblocks; blk++ {
+				s += hist[blk*nb+b]
+			}
+			counts[b] = s
+		}
+	})
+	copy(base, counts)
+	total := int(prim.ExclusiveScan(1, base))
+	parallel.For(procs, nb, 512, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			run := base[b]
+			for blk := 0; blk < plan.nblocks; blk++ {
+				c := hist[blk*nb+b]
+				hist[blk*nb+b] = run
+				run += c
+			}
+		}
+	})
+
+	// Pass 2: copy records to their final positions, optionally through
+	// line-sized staging buffers.
+	var flushes atomic.Int64
+	err = parallel.ForCtx(ctx, procs, plan.nblocks, 1, func(blo, bhi int) {
+		var nf int64
+		for blk := blo; blk < bhi; blk++ {
+			offs := hist[blk*nb : (blk+1)*nb]
+			lo, hi := blk*plan.grain, min((blk+1)*plan.grain, len(a))
+			if !plan.staged || fault.Should(fault.StageFlush) {
+				for i := lo; i < hi; i++ {
+					bid, _ := bucketOf(a[i])
+					out[offs[bid]] = a[i]
+					offs[bid]++
+				}
+				continue
+			}
+			st := getStage(nb)
+			for i := lo; i < hi; i++ {
+				r := a[i]
+				bid, _ := bucketOf(r)
+				c := st.cnt[bid]
+				st.buf[int(bid)*countingStageSlots+int(c)] = r
+				c++
+				if int(c) == countingStageSlots {
+					p := offs[bid]
+					copy(out[p:p+countingStageSlots],
+						st.buf[int(bid)*countingStageSlots:(int(bid)+1)*countingStageSlots])
+					offs[bid] = p + countingStageSlots
+					st.cnt[bid] = 0
+					nf++
+				} else {
+					st.cnt[bid] = c
+				}
+			}
+			// Drain partial lines, restoring the all-zero cnt invariant.
+			for b := 0; b < nb; b++ {
+				c := st.cnt[b]
+				if c == 0 {
+					continue
+				}
+				p := offs[b]
+				copy(out[p:p+int32(c)], st.buf[b*countingStageSlots:b*countingStageSlots+int(c)])
+				offs[b] = p + int32(c)
+				st.cnt[b] = 0
+			}
+			putStage(st)
+		}
+		flushes.Add(nf)
+	})
+	if err != nil {
+		return countingResult{}, err
+	}
+	return countingResult{counts: counts, base: base, flushes: flushes.Load(), total: total}, nil
+}

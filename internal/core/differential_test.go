@@ -1,0 +1,134 @@
+package core
+
+// Differential harness for the scatter strategies: every strategy, over a
+// seeded matrix of adversarial key distributions, must agree with the
+// sequential reference on grouping semantics — same multiset of records,
+// contiguous key runs — at several worker counts. Run under -race by
+// `make check`, this is the safety net that lets the counting scatter
+// share the pipeline with the paper's CAS scatter.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/distgen"
+	"repro/internal/hash"
+	"repro/internal/rec"
+	"repro/internal/seqsemi"
+)
+
+// diffDist is one named distribution of the differential matrix.
+type diffDist struct {
+	name string
+	data []rec.Record
+}
+
+// diffMatrix builds the seeded distribution matrix: the paper's uniform
+// and Zipfian generators plus the degenerate extremes (every key equal,
+// every key distinct) and an adversarial few-heavy-keys mix that puts
+// ~90% of the mass on three keys with a fully distinct tail.
+func diffMatrix(n int, seed uint64) []diffDist {
+	f := hash.NewFamily(seed)
+	allEqual := make([]rec.Record, n)
+	for i := range allEqual {
+		allEqual[i] = rec.Record{Key: f.Hash(7), Value: uint64(i)}
+	}
+	fewHeavy := make([]rec.Record, n)
+	for i := range fewHeavy {
+		if i%10 != 0 {
+			fewHeavy[i] = rec.Record{Key: f.Hash(uint64(i % 3)), Value: uint64(i)}
+		} else {
+			fewHeavy[i] = rec.Record{Key: f.Hash(1000 + uint64(i)), Value: uint64(i)}
+		}
+	}
+	return []diffDist{
+		{"uniform", distgen.Generate(2, n, distgen.Spec{Kind: distgen.Uniform, Param: float64(n)}, seed)},
+		{"zipf", distgen.Generate(2, n, distgen.Spec{Kind: distgen.Zipfian, Param: 1000}, seed + 1)},
+		{"all-equal", allEqual},
+		{"all-distinct", mkRecords(n, 0, int64(seed)+2)},
+		{"few-heavy", fewHeavy},
+	}
+}
+
+// sameGrouping asserts out is a valid semisort of in with exactly the
+// reference's key multiset.
+func sameGrouping(t *testing.T, label string, in, out []rec.Record, refKeys map[uint64]int) {
+	t.Helper()
+	checkSemisorted(t, label, in, out)
+	got := rec.KeyCounts(out)
+	if len(got) != len(refKeys) {
+		t.Fatalf("%s: %d distinct keys, reference has %d", label, len(got), len(refKeys))
+	}
+	for k, c := range refKeys {
+		if got[k] != c {
+			t.Fatalf("%s: key %#x has %d records, reference has %d", label, k, got[k], c)
+		}
+	}
+}
+
+// TestDifferentialStrategies is the full matrix: strategies × procs ×
+// distributions against the sequential reference.
+func TestDifferentialStrategies(t *testing.T) {
+	const n = 20000
+	strategies := []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting}
+	for _, d := range diffMatrix(n, 99) {
+		ref := seqsemi.TwoPhase(append([]rec.Record(nil), d.data...))
+		refKeys := rec.KeyCounts(ref)
+		if !rec.IsSemisorted(ref) {
+			t.Fatalf("%s: sequential reference is not semisorted", d.name)
+		}
+		for _, strat := range strategies {
+			for _, procs := range []int{1, 4} {
+				label := fmt.Sprintf("%s/%v/procs=%d", d.name, strat, procs)
+				out, stats, err := Semisort(d.data, &Config{Procs: procs, Seed: 5, ScatterStrategy: strat})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				sameGrouping(t, label, d.data, out, refKeys)
+				if strat != ScatterAuto && !stats.FallbackUsed && stats.ScatterStrategy != strat.String() {
+					t.Errorf("%s: Stats.ScatterStrategy = %q, want %q",
+						label, stats.ScatterStrategy, strat)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialCountingLocalSorts crosses the counting scatter with
+// every Phase 4 algorithm.
+func TestDifferentialCountingLocalSorts(t *testing.T) {
+	a := distgen.Generate(2, 30000, distgen.Spec{Kind: distgen.Zipfian, Param: 10000}, 17)
+	ref := rec.KeyCounts(seqsemi.TwoPhase(append([]rec.Record(nil), a...)))
+	for _, ls := range []LocalSortKind{LocalSortHybrid, LocalSortCounting, LocalSortBucket} {
+		out, _, err := Semisort(a, &Config{Procs: 4, LocalSort: ls, ScatterStrategy: ScatterCounting})
+		if err != nil {
+			t.Fatalf("localsort %v: %v", ls, err)
+		}
+		sameGrouping(t, fmt.Sprintf("localsort=%v", ls), a, out, ref)
+	}
+}
+
+// TestCountingDeterministic: the counting scatter's output must be
+// byte-identical across worker counts and repeated runs — per-bucket
+// order equals input order regardless of block boundaries.
+func TestCountingDeterministic(t *testing.T) {
+	for _, d := range diffMatrix(20000, 123) {
+		var first []rec.Record
+		for _, procs := range []int{1, 2, 4, 4} {
+			out, _, err := Semisort(d.data, &Config{Procs: procs, Seed: 3, ScatterStrategy: ScatterCounting})
+			if err != nil {
+				t.Fatalf("%s procs=%d: %v", d.name, procs, err)
+			}
+			if first == nil {
+				first = out
+				continue
+			}
+			for i := range out {
+				if out[i] != first[i] {
+					t.Fatalf("%s: procs=%d diverges from procs=1 at index %d: %v vs %v",
+						d.name, procs, i, out[i], first[i])
+				}
+			}
+		}
+	}
+}

@@ -15,11 +15,14 @@ func TestExactBucketSizes(t *testing.T) {
 		{Kind: distgen.Uniform, Param: 100000},
 	} {
 		a := distgen.Generate(4, 100000, spec, 5)
-		outP, stP, err := Semisort(a, &Config{Procs: 4, Seed: 7})
+		// Pinned to probing: slot sizing is a probing-path concept; the
+		// counting scatter (Auto's pick on the exponential input) always
+		// reports exactly n slots.
+		outP, stP, err := Semisort(a, &Config{Procs: 4, Seed: 7, ScatterStrategy: ScatterProbing})
 		if err != nil {
 			t.Fatal(err)
 		}
-		outE, stE, err := Semisort(a, &Config{Procs: 4, Seed: 7, ExactBucketSizes: true})
+		outE, stE, err := Semisort(a, &Config{Procs: 4, Seed: 7, ExactBucketSizes: true, ScatterStrategy: ScatterProbing})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -42,7 +42,9 @@ func TestInjectedOverflowRetries(t *testing.T) {
 	base := runtime.NumGoroutine()
 	a := mkRecords(30000, 100, 7)
 	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 2))
-	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 4})
+	// Pinned to probing: the injected faults model probe-slack exhaustion,
+	// which the counting scatter (Auto's pick on this heavy input) lacks.
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 4, ScatterStrategy: ScatterProbing})
 	if err != nil {
 		t.Fatalf("semisort after 2 injected overflows: %v", err)
 	}
@@ -64,7 +66,7 @@ func TestInjectedProbeSaturationRecovery(t *testing.T) {
 	base := runtime.NumGoroutine()
 	a := mkRecords(30000, 100, 9)
 	withInjector(t, fault.New(1).Arm(fault.ProbeSaturation, 0, 1))
-	out, stats, err := Semisort(a, &Config{Procs: 2})
+	out, stats, err := Semisort(a, &Config{Procs: 2, ScatterStrategy: ScatterProbing})
 	if err != nil {
 		t.Fatalf("semisort after injected probe saturation: %v", err)
 	}
@@ -85,7 +87,7 @@ func TestInjectedExhaustionFallsBack(t *testing.T) {
 	base := runtime.NumGoroutine()
 	a := mkRecords(20000, 50, 11)
 	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 100))
-	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 3})
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 3, ScatterStrategy: ScatterProbing})
 	if err != nil {
 		t.Fatalf("exhaustion with fallback enabled must succeed: %v", err)
 	}
@@ -102,7 +104,7 @@ func TestInjectedExhaustionFallsBack(t *testing.T) {
 func TestInjectedExhaustionDisableFallback(t *testing.T) {
 	a := mkRecords(20000, 50, 11)
 	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 100))
-	out, _, err := Semisort(a, &Config{Procs: 2, MaxRetries: 2, DisableFallback: true})
+	out, _, err := Semisort(a, &Config{Procs: 2, MaxRetries: 2, DisableFallback: true, ScatterStrategy: ScatterProbing})
 	if !errors.Is(err, ErrOverflow) {
 		t.Fatalf("err = %v, want ErrOverflow", err)
 	}
@@ -174,6 +176,156 @@ func TestInjectedWorkerPanicSurfacesAsError(t *testing.T) {
 		t.Error("output non-nil alongside a panic error")
 	}
 	checkNoLeak(t, base)
+}
+
+// The counting scatter has no probe slack to exhaust, so the overflow and
+// saturation points must never even be consulted on that path, and every
+// overflow statistic must stay zero.
+func TestCountingIgnoresScatterOverflow(t *testing.T) {
+	a := mkRecords(30000, 100, 7)
+	inj := fault.New(1).
+		Arm(fault.ScatterOverflow, 0, 100).
+		Arm(fault.ProbeSaturation, 0, 100)
+	withInjector(t, inj)
+	out, stats, err := Semisort(a, &Config{Procs: 2, ScatterStrategy: ScatterCounting})
+	if err != nil {
+		t.Fatalf("counting semisort under armed overflow faults: %v", err)
+	}
+	checkSemisorted(t, "counting vs overflow faults", a, out)
+	if stats.ScatterStrategy != "counting" {
+		t.Fatalf("ScatterStrategy = %q, want counting", stats.ScatterStrategy)
+	}
+	if stats.Attempts != 1 || stats.Retries != 0 {
+		t.Errorf("Attempts=%d Retries=%d, want 1 and 0", stats.Attempts, stats.Retries)
+	}
+	if stats.OverflowedBuckets != 0 || stats.OverflowDeficit != 0 {
+		t.Errorf("OverflowedBuckets=%d OverflowDeficit=%d, want 0 each",
+			stats.OverflowedBuckets, stats.OverflowDeficit)
+	}
+	if stats.MaxProbeCluster != 0 {
+		t.Errorf("MaxProbeCluster = %d, want 0 (counting path does not probe)", stats.MaxProbeCluster)
+	}
+	if f := inj.Fired(fault.ScatterOverflow); f != 0 {
+		t.Errorf("ScatterOverflow fired %d times on the counting path", f)
+	}
+	if f := inj.Fired(fault.ProbeSaturation); f != 0 {
+		t.Errorf("ProbeSaturation fired %d times on the counting path", f)
+	}
+}
+
+// StageFlush forces every counting block onto the unstaged direct-store
+// path, which must produce the same output with zero recorded flushes.
+func TestInjectedStageFlushBypass(t *testing.T) {
+	a := mkRecords(30000, 100, 29)
+	inj := fault.New(1).Arm(fault.StageFlush, 0, 1<<20)
+	withInjector(t, inj)
+	out, stats, err := Semisort(a, &Config{Procs: 2, ScatterStrategy: ScatterCounting})
+	if err != nil {
+		t.Fatalf("counting semisort with staging bypassed: %v", err)
+	}
+	checkSemisorted(t, "stage-flush bypass", a, out)
+	if inj.Fired(fault.StageFlush) == 0 {
+		t.Fatal("StageFlush never fired; the input did not reach a staged counting block")
+	}
+	if stats.ScatterFlushes != 0 {
+		t.Errorf("ScatterFlushes = %d, want 0 when every block bypassed staging", stats.ScatterFlushes)
+	}
+}
+
+// Auto must route an all-distinct input to probing, where the injected
+// overflows drive the usual retry accounting.
+func TestAutoProbingOverflowAccounting(t *testing.T) {
+	a := mkRecords(30000, 0, 37) // unique keys: no heavy duplication
+	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 2))
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 4})
+	if err != nil {
+		t.Fatalf("auto semisort after 2 injected overflows: %v", err)
+	}
+	checkSemisorted(t, "auto overflow accounting", a, out)
+	if stats.ScatterStrategy != "probing" {
+		t.Fatalf("ScatterStrategy = %q, want probing for distinct keys", stats.ScatterStrategy)
+	}
+	if stats.Retries != 2 || stats.Attempts != 3 {
+		t.Errorf("Retries=%d Attempts=%d, want 2 and 3", stats.Retries, stats.Attempts)
+	}
+	if stats.OverflowedBuckets < 2 {
+		t.Errorf("OverflowedBuckets = %d, want >= 2", stats.OverflowedBuckets)
+	}
+}
+
+// A worker panic anywhere in a counting-strategy run must surface as a
+// wrapped PanicError with no output and no leaked goroutines.
+func TestCountingWorkerPanic(t *testing.T) {
+	for _, first := range []int{0, 1} {
+		base := runtime.NumGoroutine()
+		a := mkRecords(30000, 100, 19)
+		withInjector(t, fault.New(1).Arm(fault.WorkerPanic, first, 1))
+		out, _, err := Semisort(a, &Config{Procs: 2, ScatterStrategy: ScatterCounting})
+		fault.Disable()
+		if err == nil {
+			t.Fatalf("occurrence %d: injected worker panic produced no error", first)
+		}
+		var pe *parallel.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("occurrence %d: err = %v, want a wrapped *parallel.PanicError", first, err)
+		}
+		if out != nil {
+			t.Errorf("occurrence %d: output non-nil alongside a panic error", first)
+		}
+		checkNoLeak(t, base)
+	}
+}
+
+// The scratch cap applies to the counting plan too: an unmeetable
+// MaxSlotBytes aborts before allocation and degrades to the fallback in a
+// single attempt, exactly like the probing path's slot cap.
+func TestCountingSlotCapFallsBack(t *testing.T) {
+	a := mkRecords(30000, 100, 13)
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxSlotBytes: 512, ScatterStrategy: ScatterCounting})
+	if err != nil {
+		t.Fatalf("scratch-capped counting semisort: %v", err)
+	}
+	checkSemisorted(t, "counting scratch cap", a, out)
+	if !stats.FallbackUsed {
+		t.Error("FallbackUsed = false under an unmeetable scratch cap")
+	}
+	if stats.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 (cap abort is not retryable)", stats.Attempts)
+	}
+
+	_, _, err = Semisort(a, &Config{Procs: 2, MaxSlotBytes: 512, ScatterStrategy: ScatterCounting, DisableFallback: true})
+	if !errors.Is(err, ErrOverflow) {
+		t.Fatalf("capped + DisableFallback err = %v, want ErrOverflow", err)
+	}
+}
+
+// A clean counting run's stats must satisfy the path's invariants.
+func TestCountingStatsInvariants(t *testing.T) {
+	a := mkRecords(30000, 100, 41)
+	out, stats, err := Semisort(a, &Config{Procs: 2, ScatterStrategy: ScatterCounting})
+	if err != nil {
+		t.Fatalf("counting semisort: %v", err)
+	}
+	checkSemisorted(t, "counting invariants", a, out)
+	if stats.Attempts != stats.Retries+1 {
+		t.Errorf("Attempts=%d Retries=%d, want Attempts == Retries+1", stats.Attempts, stats.Retries)
+	}
+	if stats.ScatterStrategy != "counting" {
+		t.Errorf("ScatterStrategy = %q, want counting", stats.ScatterStrategy)
+	}
+	if stats.ScatterFlushes == 0 {
+		t.Error("ScatterFlushes = 0, want staged flushes on a heavy-duplicate input")
+	}
+	if stats.SlotsAllocated != len(a) {
+		t.Errorf("SlotsAllocated = %d, want n=%d (counting writes straight to output)",
+			stats.SlotsAllocated, len(a))
+	}
+	if stats.HeavyRecords == 0 {
+		t.Error("HeavyRecords = 0, want > 0 on a 100-key input")
+	}
+	if stats.MaxProbeCluster != 0 {
+		t.Errorf("MaxProbeCluster = %d, want 0", stats.MaxProbeCluster)
+	}
 }
 
 func TestRecoveryDisabledInjectorIsClean(t *testing.T) {

@@ -91,7 +91,9 @@ func TestObserverRetrySpans(t *testing.T) {
 	a := mkRecords(30000, 100, 7)
 	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 2))
 	var col obsv.Collector
-	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 4, Observer: &col})
+	// Pinned to probing: overflow retries exist only on the probing path.
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 4, Observer: &col,
+		ScatterStrategy: ScatterProbing})
 	if err != nil {
 		t.Fatalf("semisort after 2 injected overflows: %v", err)
 	}
@@ -154,7 +156,8 @@ func TestObserverFallbackSpan(t *testing.T) {
 	a := mkRecords(20000, 100, 11)
 	withInjector(t, fault.New(1).Arm(fault.ScatterOverflow, 0, 100))
 	var col obsv.Collector
-	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 2, Observer: &col})
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxRetries: 2, Observer: &col,
+		ScatterStrategy: ScatterProbing})
 	if err != nil {
 		t.Fatalf("semisort with exhausted retries: %v", err)
 	}
@@ -175,6 +178,53 @@ func TestObserverFallbackSpan(t *testing.T) {
 	ends := col.Ends()
 	if last := ends[len(ends)-1]; last.Index != fb.Index || last.Outcome != obsv.OutcomeOK {
 		t.Errorf("fallback end = %+v, want ok at index %d", last, fb.Index)
+	}
+}
+
+// Scatter spans must carry the strategy attribute, and counting-strategy
+// spans the flush counter matching Stats.ScatterFlushes.
+func TestObserverScatterStrategyAttributes(t *testing.T) {
+	lastScatter := func(spans []obsv.Span) (obsv.Span, bool) {
+		for i := len(spans) - 1; i >= 0; i-- {
+			if spans[i].Phase == obsv.PhaseScatter {
+				return spans[i], true
+			}
+		}
+		return obsv.Span{}, false
+	}
+
+	a := mkRecords(30000, 100, 31)
+	var col obsv.Collector
+	_, stats, err := Semisort(a, &Config{Procs: 2, Observer: &col, ScatterStrategy: ScatterCounting})
+	if err != nil {
+		t.Fatalf("counting semisort: %v", err)
+	}
+	sp, ok := lastScatter(col.Spans())
+	if !ok {
+		t.Fatal("no scatter span in counting trace")
+	}
+	if sp.Strategy != "counting" {
+		t.Errorf("counting scatter span Strategy = %q, want counting", sp.Strategy)
+	}
+	if sp.Flushes != stats.ScatterFlushes || sp.Flushes == 0 {
+		t.Errorf("counting scatter span Flushes = %d, want Stats.ScatterFlushes = %d > 0",
+			sp.Flushes, stats.ScatterFlushes)
+	}
+
+	var colP obsv.Collector
+	_, _, err = Semisort(a, &Config{Procs: 2, Observer: &colP, ScatterStrategy: ScatterProbing})
+	if err != nil {
+		t.Fatalf("probing semisort: %v", err)
+	}
+	sp, ok = lastScatter(colP.Spans())
+	if !ok {
+		t.Fatal("no scatter span in probing trace")
+	}
+	if sp.Strategy != "probing" {
+		t.Errorf("probing scatter span Strategy = %q, want probing", sp.Strategy)
+	}
+	if sp.Flushes != 0 {
+		t.Errorf("probing scatter span Flushes = %d, want 0", sp.Flushes)
 	}
 }
 

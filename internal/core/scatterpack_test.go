@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rec"
+)
+
+// TestScatterPack pins down the lower-bound baseline's contract: the
+// output is a permutation of the input (not semisorted — only the memory
+// traffic matters) with both component times populated on non-trivial
+// sizes.
+func TestScatterPack(t *testing.T) {
+	for _, procs := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 2, 100, 10000, 65536} {
+			t.Run(fmt.Sprintf("procs=%d/n=%d", procs, n), func(t *testing.T) {
+				a := mkRecords(n, 100, int64(n)+1)
+				out, times := ScatterPack(procs, a, 42)
+				if len(out) != n {
+					t.Fatalf("output length %d, want %d", len(out), n)
+				}
+				if !rec.SamePermutation(a, out) {
+					t.Fatal("output is not a permutation of the input")
+				}
+				if n == 0 {
+					if times.Scatter != 0 || times.Pack != 0 {
+						t.Errorf("times = %+v, want zero for empty input", times)
+					}
+					return
+				}
+				if times.Scatter <= 0 || times.Pack <= 0 {
+					t.Errorf("times = %+v, want both components positive", times)
+				}
+				if times.Total() != times.Scatter+times.Pack {
+					t.Errorf("Total() = %v, want %v", times.Total(), times.Scatter+times.Pack)
+				}
+			})
+		}
+	}
+}

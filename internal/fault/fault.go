@@ -53,6 +53,11 @@ const (
 	// PhaseBoundary fires at semisort phase boundaries (five per
 	// attempt, in phase order); arm it with an OnFire cancellation hook.
 	PhaseBoundary
+	// StageFlush forces a counting-scatter block to bypass its staging
+	// buffers and write records directly to their final positions;
+	// occurrences count counting-path scatter blocks that had staging
+	// available.
+	StageFlush
 
 	numPoints
 )
@@ -65,6 +70,7 @@ var pointNames = [numPoints]string{
 	"spill-write",
 	"spill-read",
 	"phase-boundary",
+	"stage-flush",
 }
 
 func (p Point) String() string {

@@ -137,6 +137,13 @@ type Span struct {
 	Duration time.Duration
 	// Outcome is one of the Outcome* constants.
 	Outcome string
+	// Strategy names the placement algorithm of a scatter span —
+	// "probing" (the CAS scatter) or "counting" (the two-pass counting
+	// scatter); empty on every other phase.
+	Strategy string
+	// Flushes counts the staging-buffer flushes the counting scatter
+	// performed; set on counting-strategy scatter spans only.
+	Flushes int64
 }
 
 // AttemptEnd reports how one attempt (or the fallback) finished.

@@ -37,6 +37,18 @@ const (
 	ProbeRandom       = core.ProbeRandom
 )
 
+// ScatterStrategy selects the Phase 3 placement algorithm (see Config).
+type ScatterStrategy = core.ScatterStrategy
+
+// Scatter strategy options: Auto (the default) picks Counting when the
+// sample predicts heavy duplication and Probing otherwise; the explicit
+// values force one placement.
+const (
+	ScatterAuto     = core.ScatterAuto
+	ScatterProbing  = core.ScatterProbing
+	ScatterCounting = core.ScatterCounting
+)
+
 // ErrOverflow is returned (wrapped) if every Las Vegas retry overflowed a
 // bucket and Config.DisableFallback is set; with fallback enabled (the
 // default) exhaustion degrades to a sequential semisort instead.

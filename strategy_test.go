@@ -1,0 +1,111 @@
+package semisort
+
+// Public-API side of the differential harness: every ScatterStrategy
+// value must group identically through Records/RecordsWithStats and keep
+// the StableRecords ordering guarantee.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rec"
+)
+
+// strategyInputs builds three contrasting inputs: heavy duplication on
+// five keys, a mixed duplicate/distinct blend, and all-distinct keys.
+// Value is the input index, so stability is checkable on the output.
+func strategyInputs(n int) map[string][]Record {
+	heavy := make([]Record, n)
+	for i := range heavy {
+		heavy[i] = Record{Key: uint64(i%5)*0x9e3779b97f4a7c15 + 1, Value: uint64(i)}
+	}
+	mixed := make([]Record, n)
+	for i := range mixed {
+		k := uint64(i) * 0x2545f4914f6cdd1d
+		if i%3 != 0 {
+			k = uint64(i%50)*0x9e3779b97f4a7c15 + 1
+		}
+		mixed[i] = Record{Key: k, Value: uint64(i)}
+	}
+	distinct := make([]Record, n)
+	for i := range distinct {
+		distinct[i] = Record{Key: uint64(i+1) * 0x2545f4914f6cdd1d, Value: uint64(i)}
+	}
+	return map[string][]Record{"heavy": heavy, "mixed": mixed, "distinct": distinct}
+}
+
+var allStrategies = []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting}
+
+func TestScatterStrategiesPublicAPI(t *testing.T) {
+	for name, in := range strategyInputs(20000) {
+		want := rec.KeyCounts(in)
+		for _, strat := range allStrategies {
+			label := fmt.Sprintf("%s/%v", name, strat)
+			out, stats, err := RecordsWithStats(in, &Config{Procs: 2, ScatterStrategy: strat})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !IsSemisorted(out) {
+				t.Fatalf("%s: output not semisorted", label)
+			}
+			got := rec.KeyCounts(out)
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d distinct keys, want %d", label, len(got), len(want))
+			}
+			for k, c := range want {
+				if got[k] != c {
+					t.Fatalf("%s: key %#x count %d, want %d", label, k, got[k], c)
+				}
+			}
+			if stats.ScatterStrategy != "probing" && stats.ScatterStrategy != "counting" {
+				t.Errorf("%s: Stats.ScatterStrategy = %q, want probing or counting",
+					label, stats.ScatterStrategy)
+			}
+		}
+	}
+}
+
+// Auto must route heavy duplication to counting and distinct keys to
+// probing — the heuristic the config documentation promises.
+func TestAutoResolution(t *testing.T) {
+	in := strategyInputs(20000)
+	_, stats, err := RecordsWithStats(in["heavy"], &Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ScatterStrategy != "counting" {
+		t.Errorf("heavy input resolved to %q, want counting", stats.ScatterStrategy)
+	}
+	_, stats, err = RecordsWithStats(in["distinct"], &Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ScatterStrategy != "probing" {
+		t.Errorf("distinct input resolved to %q, want probing", stats.ScatterStrategy)
+	}
+}
+
+// StableRecords must keep input order within every group under every
+// strategy; Value carries the input index, so runs must ascend.
+func TestStableRecordsPerStrategy(t *testing.T) {
+	for name, in := range strategyInputs(20000) {
+		for _, strat := range allStrategies {
+			label := fmt.Sprintf("%s/%v", name, strat)
+			out, err := StableRecords(in, &Config{Procs: 2, ScatterStrategy: strat})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !IsSemisorted(out) {
+				t.Fatalf("%s: output not semisorted", label)
+			}
+			for start, end := range AllRuns(out) {
+				for i := start + 1; i < end; i++ {
+					if out[i].Value <= out[i-1].Value {
+						t.Fatalf("%s: run at %d not in input order: Value %d after %d",
+							label, start, out[i].Value, out[i-1].Value)
+					}
+				}
+			}
+		}
+	}
+}
