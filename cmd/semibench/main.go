@@ -12,7 +12,7 @@
 //	semibench -compare BENCH_semisort.json                            # CI perf gate
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5
-// seqbaselines rrcompare schedulers ablation scatter faults observe all.
+// seqbaselines rrcompare schedulers ablation scatter faults observe reuse all.
 package main
 
 import (
@@ -43,13 +43,14 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 	"scatter":      bench.RunScatter,
 	"faults":       bench.RunFaults,
 	"observe":      bench.RunObserve,
+	"reuse":        bench.RunReuse,
 }
 
 // order fixes a deterministic run order for -experiment all.
 var order = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "seqbaselines", "rrcompare", "schedulers", "ablation",
-	"scatter", "faults", "observe",
+	"scatter", "faults", "observe", "reuse",
 }
 
 func main() {

@@ -211,7 +211,7 @@ func (s *Shuffler) ForEachGroup(fn func(key uint64, group []semisort.Record) err
 	}
 
 	ctx := s.cfg.Semisort.Context
-	sorter := core.Workspace{}
+	var sorter core.Workspace
 	var partition []rec.Record
 	for p := range s.files {
 		cnt := s.counts[p]
@@ -231,7 +231,10 @@ func (s *Shuffler) ForEachGroup(fn func(key uint64, group []semisort.Record) err
 			return err
 		}
 		cfg := s.cfg.Semisort
-		out, st, err := core.SemisortWS(&sorter, partition, &cfg)
+		// Shared output: the group slices handed to fn are documented as
+		// reused between calls, so the workspace-owned buffer is recycled
+		// across partitions instead of allocating one output per partition.
+		out, st, err := core.SemisortShared(&sorter, partition, &cfg)
 		if err != nil {
 			return fmt.Errorf("external: semisort partition %d (%s): %w", p, s.partName(p), err)
 		}

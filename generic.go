@@ -137,6 +137,12 @@ func permutationBy[T any, K comparable](items []T, key func(T) K, cfg *Config) (
 	}
 	recs := make([]rec.Record, n)
 
+	// One workspace for all rehash attempts: a collision retry (or a Las
+	// Vegas retry inside the core) reuses the first attempt's buffers, and
+	// the shared output buffer is only read here to extract the
+	// permutation, so it can die with the workspace.
+	var ws core.Workspace
+
 	var lastErr error
 	for attempt := 0; attempt < genericRetries; attempt++ {
 		seed := maphash.MakeSeed()
@@ -151,7 +157,7 @@ func permutationBy[T any, K comparable](items []T, key func(T) K, cfg *Config) (
 			})
 			return obsv.OutcomeOK
 		})
-		out, _, err := core.Semisort(recs, cfg)
+		out, _, err := core.SemisortShared(&ws, recs, cfg)
 		if err != nil {
 			return nil, err
 		}

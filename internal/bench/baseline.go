@@ -40,7 +40,18 @@ type Baseline struct {
 	PhasesSec map[string]float64 `json:"phases_sec"`
 	// TotalSec is the minimum across reps of the five-phase total.
 	TotalSec float64 `json:"total_sec"`
+	// AllocsPerOp is the steady-state heap allocations per warm-workspace
+	// semisort call at one worker, keyed by scatter strategy ("probing",
+	// "counting"). Absent from baselines written before the pipeline
+	// refactor; Compare gates it only when the stored baseline has it.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
+
+// AllocSlack is the absolute allocation headroom of the -compare gate: a
+// strategy may allocate up to this many more objects per call than the
+// stored baseline before Compare fails. Allocation counts are nearly
+// deterministic (unlike times), so the budget is absolute, not relative.
+const AllocSlack = 2
 
 // MeasureBaseline measures the uninstrumented semisort (no Observer —
 // the baseline captures production performance) on the seeded uniform
@@ -110,6 +121,26 @@ func MeasureBaseline(o Options) Baseline {
 	for name, d := range counting {
 		b.PhasesSec[name] = d.Seconds()
 	}
+
+	// Steady-state allocations per call, one worker, warm workspace: the
+	// zero-allocation contract of the pipeline-over-Workspace design. Kept
+	// in the baseline so an allocation regression (a buffer that slipped
+	// out of the Workspace, a closure that started escaping) fails the
+	// same CI gate as a time regression.
+	b.AllocsPerOp = map[string]float64{
+		"probing": allocsPerOp(allocReps, func() {
+			if _, _, err := core.SemisortWS(&ws, a, &core.Config{Procs: 1, Seed: o.Seed + 7,
+				ScatterStrategy: core.ScatterProbing}); err != nil {
+				panic(err)
+			}
+		}),
+		"counting": allocsPerOp(allocReps, func() {
+			if _, _, err := core.SemisortWS(&ws, exp, &core.Config{Procs: 1, Seed: o.Seed + 7,
+				ScatterStrategy: core.ScatterCounting}); err != nil {
+				panic(err)
+			}
+		}),
+	}
 	return b
 }
 
@@ -175,6 +206,26 @@ func Compare(cur, base Baseline, tol float64) error {
 		regressions = append(regressions, fmt.Sprintf(
 			"total: %.4fs vs baseline %.4fs (+%.0f%% > %.0f%%)",
 			cur.TotalSec, base.TotalSec, 100*(cur.TotalSec/base.TotalSec-1), 100*tol))
+	}
+	// Allocation gate: absolute headroom, since steady-state counts are
+	// deterministic. Only keys stored in the baseline are gated, so
+	// baselines written before AllocsPerOp existed still compare cleanly.
+	anames := make([]string, 0, len(base.AllocsPerOp))
+	for name := range base.AllocsPerOp {
+		anames = append(anames, name)
+	}
+	sort.Strings(anames)
+	for _, name := range anames {
+		ba := base.AllocsPerOp[name]
+		ca, ok := cur.AllocsPerOp[name]
+		if !ok {
+			return fmt.Errorf("baseline allocation count %q missing from current measurement", name)
+		}
+		if ca > ba+AllocSlack {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s allocs/op: %.1f vs baseline %.1f (budget +%d)",
+				name, ca, ba, AllocSlack))
+		}
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("phase-level perf regression:\n  %s", strings.Join(regressions, "\n  "))

@@ -227,3 +227,69 @@ func ExampleRunObserve() {
 	// observe: phase spans (uniform, p=2)
 	// observe: scheduler counters (best rep, p=2)
 }
+
+// Compare's allocation gate: absolute budget, baseline-driven (old
+// baselines without AllocsPerOp are not gated).
+func TestCompareAllocationGate(t *testing.T) {
+	base := Baseline{
+		N: 1000, Procs: 2, Reps: 3, Seed: 1,
+		PhasesSec:   map[string]float64{"scatter": 0.5},
+		TotalSec:    1.0,
+		AllocsPerOp: map[string]float64{"probing": 1, "counting": 1},
+	}
+	clone := func() Baseline {
+		c := base
+		c.PhasesSec = map[string]float64{"scatter": 0.5}
+		c.AllocsPerOp = map[string]float64{}
+		for k, v := range base.AllocsPerOp {
+			c.AllocsPerOp[k] = v
+		}
+		return c
+	}
+
+	if err := Compare(clone(), base, 0.15); err != nil {
+		t.Errorf("identical allocation counts flagged: %v", err)
+	}
+
+	within := clone()
+	within.AllocsPerOp["probing"] = 3 // +2: exactly the budget
+	if err := Compare(within, base, 0.15); err != nil {
+		t.Errorf("allocation within budget flagged: %v", err)
+	}
+
+	over := clone()
+	over.AllocsPerOp["counting"] = 4 // +3: over the +2 budget
+	if err := Compare(over, base, 0.15); err == nil {
+		t.Error("allocation regression not flagged")
+	} else if !strings.Contains(err.Error(), "counting allocs/op") {
+		t.Errorf("regression error %q does not name the counting allocation gate", err)
+	}
+
+	missing := clone()
+	delete(missing.AllocsPerOp, "probing")
+	if err := Compare(missing, base, 0.15); err == nil {
+		t.Error("missing allocation count not flagged")
+	}
+
+	// A pre-refactor baseline has no AllocsPerOp: nothing to gate.
+	old := base
+	old.AllocsPerOp = nil
+	cur := clone()
+	if err := Compare(cur, old, 0.15); err != nil {
+		t.Errorf("pre-AllocsPerOp baseline flagged: %v", err)
+	}
+}
+
+// RunReuse renders the workspace-reuse experiment and reports a shared
+// steady state that allocates nothing.
+func TestRunReuseTiny(t *testing.T) {
+	tabs := RunReuse(tinyOptions())
+	if len(tabs) != 1 || len(tabs[0].Rows) != 6 {
+		t.Fatalf("RunReuse: want 1 table with 6 rows, got %+v", tabs)
+	}
+	for _, row := range tabs[0].Rows {
+		if row[1] == "shared" && row[3] != "0.0" {
+			t.Errorf("%s/shared steady state allocates %s per op, want 0.0", row[0], row[3])
+		}
+	}
+}

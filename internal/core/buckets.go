@@ -1,0 +1,164 @@
+// Phase 2b — bucket construction (paper Section 4, Phase 2, second
+// half): allocate one bucket per heavy key and one per (merged) light
+// hash range, sizing each with the high-probability estimate f(s) from
+// Section 3.1; record heavy keys in a phase-concurrent hash table.
+// Adjacent light buckets with fewer than Delta samples are merged (the
+// ~10% memory optimization of Phase 2).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"repro/internal/hashtable"
+	"repro/internal/obsv"
+)
+
+// bucket describes one slot range: [off, off+sz) in the slot arrays.
+type bucket struct {
+	off int64
+	sz  uint64 // a power of two unless Config.ExactBucketSizes is set
+}
+
+// allocatePhase builds the bucket table. Heavy buckets first (block-major
+// run order, so bucket ids are stable for a fixed sample), then merged
+// light buckets, all carved out of one big slot array so Phase 5 can pack
+// with simple interval scans. It also performs the strategy-specific
+// sizing and enforces Config.MaxSlotBytes.
+func (pl *plan) allocatePhase() error {
+	pl.tr.phaseStart(pl.attempt, obsv.PhaseAllocate)
+	tAlloc := time.Now()
+	c := &pl.cfg
+
+	// The heavy-key hash table maps key -> bucket index. One key value is
+	// reserved by the table as its empty marker; a heavy run with that
+	// exact key gets a dedicated bucket checked before the table lookup.
+	table := pl.ws.getTable(max(pl.numHeavy, 1))
+	pl.table = table
+	pl.emptyKeyBucket = -1
+	buckets := growEmpty(&pl.ws.buckets, pl.numHeavy+pl.numLight)
+	var slotTotal int64
+	for _, hr := range pl.heavyRuns {
+		id := int64(len(buckets))
+		size := sizeEstimate(int(hr.count), pl.logn, c.C, c.Slack, c.SampleRate, c.ExactBucketSizes)
+		if m, ok := pl.boost[int32(id)]; ok {
+			size = boostSize(size, m, c.ExactBucketSizes)
+		}
+		buckets = append(buckets, bucket{off: slotTotal, sz: uint64(size)})
+		slotTotal += int64(size)
+		if hr.key == hashtable.Empty {
+			pl.emptyKeyBucket = id
+		} else {
+			table.Insert(hr.key, uint64(id))
+		}
+	}
+	pl.heavySlotEnd = slotTotal
+
+	// Merged light buckets: combine adjacent hash-range slices until each
+	// merged bucket holds at least Delta samples (or a single slice when
+	// merging is disabled).
+	pl.lightBucketOf = grow(&pl.ws.lightBucketOf, pl.numLight)
+	firstLight := len(buckets)
+	{
+		start := 0
+		var acc int32
+		for i := 0; i < pl.numLight; i++ {
+			acc += pl.lightCounts[i]
+			atEnd := i == pl.numLight-1
+			if !atEnd && !c.DisableBucketMerging && int(acc) < c.Delta {
+				continue
+			}
+			if c.DisableBucketMerging || int(acc) >= c.Delta || atEnd {
+				id := int32(len(buckets))
+				size := sizeEstimate(int(acc), pl.logn, c.C, c.Slack, c.SampleRate, c.ExactBucketSizes)
+				if m, ok := pl.boost[id]; ok {
+					size = boostSize(size, m, c.ExactBucketSizes)
+				}
+				buckets = append(buckets, bucket{off: slotTotal, sz: uint64(size)})
+				slotTotal += int64(size)
+				for j := start; j <= i; j++ {
+					pl.lightBucketOf[j] = id
+				}
+				start = i + 1
+				acc = 0
+			}
+		}
+	}
+	pl.ws.buckets = buckets
+	pl.buckets = buckets
+	pl.firstLight = firstLight
+	pl.numLightMerged = len(buckets) - firstLight
+	pl.slotTotal = slotTotal
+
+	if pl.strat == ScatterCounting {
+		// The counting scatter writes straight into the output array, so
+		// the attempt allocates no slot slack — only the histogram and
+		// staging scratch, which the same memory cap governs.
+		pl.cplan = planCounting(pl.n, pl.procs, len(buckets))
+		if c.MaxSlotBytes > 0 && pl.cplan.scratchBytes > c.MaxSlotBytes {
+			pl.stats.Phases.Buckets = time.Since(pl.bucketsT0)
+			pl.tr.span(pl.attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
+			return fmt.Errorf("%w: counting scatter needs %d scratch bytes, cap %d",
+				errSlotCap, pl.cplan.scratchBytes, c.MaxSlotBytes)
+		}
+		pl.stats.SlotsAllocated = pl.n
+	} else {
+		if c.MaxSlotBytes > 0 && slotTotal*16 > c.MaxSlotBytes {
+			pl.stats.Phases.Buckets = time.Since(pl.bucketsT0)
+			pl.tr.span(pl.attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
+			return fmt.Errorf("%w: need %d slot bytes, cap %d",
+				errSlotCap, slotTotal*16, c.MaxSlotBytes)
+		}
+		pl.slots, pl.occ = pl.ws.getSlots(slotTotal)
+		pl.stats.SlotsAllocated = int(slotTotal)
+	}
+	pl.stats.HeavyKeys = pl.numHeavy
+	pl.stats.LightBuckets = pl.numLightMerged
+	pl.stats.Phases.Buckets = time.Since(pl.bucketsT0)
+	pl.tr.span(pl.attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeOK)
+	return nil
+}
+
+// sizeEstimate is the paper's f(s) multiplied by slack and, unless exact
+// sizing is requested, rounded up to a power of two (Section 4, Phase 2):
+// the high-probability bound on the record count of a bucket with s sample
+// hits. Exact sizing trades the cheap power-of-two masking for ~1.4x less
+// slot memory (measured in the ablation benches).
+func sizeEstimate(s int, logn float64, c, slack float64, rate int, exact bool) int {
+	cln := c * logn
+	f := (float64(s) + cln + math.Sqrt(cln*cln+2*float64(s)*cln)) * float64(rate)
+	size := int(math.Ceil(slack * f))
+	if size < 4 {
+		size = 4
+	}
+	if exact {
+		return size
+	}
+	return 1 << uint(bits.Len(uint(size-1)))
+}
+
+// boostSize applies a per-bucket retry multiplier to a size estimate,
+// preserving the power-of-two invariant unless exact sizing is on.
+func boostSize(size int, m float64, exact bool) int {
+	s := int(math.Ceil(float64(size) * m))
+	if s < size {
+		s = size
+	}
+	if exact {
+		return s
+	}
+	return 1 << uint(bits.Len(uint(s-1)))
+}
+
+// bucketPos maps a random word to a slot index in [0, size). Power-of-two
+// sizes use masking (the paper's choice); exact sizes use the multiply-
+// shift reduction.
+func bucketPos(r, size uint64, exact bool) uint64 {
+	if !exact {
+		return r & (size - 1)
+	}
+	hi, _ := bits.Mul64(r, size)
+	return hi
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/parallel"
+)
+
+// LocalSortKind selects the Phase 4 algorithm for light buckets.
+type LocalSortKind int
+
+const (
+	// LocalSortHybrid sorts each light bucket with the introsort hybrid
+	// (the paper's final choice: "the sort in the C++ Standard Library").
+	LocalSortHybrid LocalSortKind = iota
+	// LocalSortCounting semisorts each light bucket with the naming
+	// problem (a small hash table assigning dense labels) followed by two
+	// passes of stable counting sort, as in the theoretical algorithm.
+	LocalSortCounting
+	// LocalSortBucket sorts each light bucket with a classic bucket sort
+	// over the (near-uniform) hashed keys — one of the alternatives the
+	// paper reports trying in Phase 4 before settling on std::sort.
+	LocalSortBucket
+)
+
+// ProbeKind selects the Phase 3 collision strategy.
+type ProbeKind int
+
+const (
+	// ProbeLinear retries at the next slot on CAS failure (the paper's
+	// choice, for cache locality).
+	ProbeLinear ProbeKind = iota
+	// ProbeRandom draws a fresh random slot on CAS failure (the
+	// theoretical placement-problem's per-record strategy); kept for
+	// ablation.
+	ProbeRandom
+	// ProbeBlockRounds runs the placement exactly as Section 3 describes
+	// it: the input is partitioned into blocks of ~log n records and
+	// placement proceeds in synchronous rounds, each block attempting one
+	// uninserted record per round at a fresh random slot. Expected
+	// α/(α−1)·log n rounds; kept for ablation against the practical CAS
+	// loop.
+	ProbeBlockRounds
+)
+
+// ScatterStrategy selects the Phase 3 placement algorithm.
+type ScatterStrategy int
+
+const (
+	// ScatterAuto resolves the strategy per attempt from the sample:
+	// counting when at least autoHeavySampleFrac of the sampled keys fall
+	// in heavy runs (duplication makes CAS contention expensive and the
+	// histogram cheap), probing otherwise. The zero value.
+	ScatterAuto ScatterStrategy = iota
+	// ScatterProbing is the paper's placement: a pseudo-random slot per
+	// record, claimed with CAS, probing on collision (parameterized by
+	// Config.Probe). Overflow triggers the Las Vegas retry ladder.
+	ScatterProbing
+	// ScatterCounting is the deterministic two-pass counting scatter: a
+	// per-block histogram over bucket ids, prefix sums to exact write
+	// cursors, then blocked writes through per-worker staging buffers
+	// that flush cache-line-sized runs. No CAS, no probing, and no
+	// overflow retries — the offsets are exact, so the path cannot fail.
+	ScatterCounting
+)
+
+func (s ScatterStrategy) String() string {
+	switch s {
+	case ScatterProbing:
+		return "probing"
+	case ScatterCounting:
+		return "counting"
+	default:
+		return "auto"
+	}
+}
+
+// Config holds the algorithm's tuning parameters. The zero value selects
+// the paper's defaults (Section 4): p = 1/16, δ = 16, 2^16 light buckets,
+// c = 1.25, slack 1.1, bucket merging on, hybrid local sort, linear
+// probing.
+type Config struct {
+	// Procs is the number of workers; <= 0 means GOMAXPROCS.
+	Procs int
+	// SampleRate is 1/p: one key is sampled from each block of SampleRate
+	// records. Default 16.
+	SampleRate int
+	// Delta is the heavy-key threshold δ: a key with at least Delta
+	// occurrences in the sample is heavy. Default 16.
+	Delta int
+	// MaxLightBuckets caps the number of hash-range slices for light keys.
+	// The effective count adapts downward for small inputs. Default 2^16.
+	MaxLightBuckets int
+	// C is the constant c in the f(s) estimate. Default 1.25.
+	C float64
+	// Slack multiplies f(s) when sizing bucket arrays. Default 1.1.
+	Slack float64
+	// DisableBucketMerging turns off the merging of adjacent light buckets
+	// that have fewer than Delta samples (ablation).
+	DisableBucketMerging bool
+	// ExactBucketSizes skips the paper's round-up-to-power-of-two when
+	// sizing bucket arrays, using ⌈Slack·f(s)⌉ exactly. This deviates from
+	// the paper's Phase 2 but reduces slot memory (and hence scatter
+	// traffic) by ~1.4x on average; see the ablation benches.
+	ExactBucketSizes bool
+	// LocalSort selects the Phase 4 algorithm.
+	LocalSort LocalSortKind
+	// Probe selects the Phase 3 collision strategy (probing scatter only).
+	// A non-linear probe kind forces ScatterProbing — the alternative
+	// probes parameterize the probing placement, so combining them with
+	// the counting scatter would be meaningless.
+	Probe ProbeKind
+	// ScatterStrategy selects the Phase 3 placement: the paper's CAS +
+	// probing scatter, the deterministic two-pass counting scatter, or
+	// (the default) an automatic per-attempt choice driven by the
+	// sample's heavy fraction.
+	ScatterStrategy ScatterStrategy
+	// MaxRetries bounds Las Vegas restarts after bucket overflow. The
+	// retry policy is adaptive: the first restarts regrow only the
+	// buckets that overflowed (keeping the same sample); persistent
+	// overflow escalates to a fresh sample with doubled Slack. Default 4.
+	MaxRetries int
+	// Seed makes runs reproducible; retries derive fresh randomness from
+	// it deterministically.
+	Seed uint64
+	// Context, when non-nil, cancels the semisort cooperatively. It is
+	// checked at every phase boundary and at parallel-for chunk
+	// boundaries (never per record), so the hot path is unaffected. On
+	// cancellation the returned error wraps Context.Err().
+	Context context.Context
+	// MaxSlotBytes caps the bucket slot memory (16 bytes per slot) any
+	// attempt may allocate. An attempt whose estimate exceeds the cap
+	// degrades to the sequential fallback instead of allocating.
+	// 0 means no cap.
+	MaxSlotBytes int64
+	// MaxRetainedBytes caps the scratch memory a Workspace keeps between
+	// calls. After each call (success or failure) the workspace drops
+	// buffers, largest first, until its retained total fits the cap, so
+	// one huge input does not pin ~4-6x its size for the lifetime of a
+	// long-lived Sorter. 0 means retain everything (the historical
+	// growth-only policy). See Workspace.Release for dropping it all.
+	MaxRetainedBytes int64
+	// DisableFallback makes retry exhaustion return ErrOverflow instead
+	// of degrading to the deterministic sequential semisort.
+	DisableFallback bool
+	// Observer, when non-nil, receives a structured trace of the call:
+	// an AttemptStart/AttemptEnd pair per scatter attempt (and per
+	// fallback) with a PhaseStart/PhaseEnd span for every phase the
+	// attempt reaches, all invoked on the orchestrating goroutine. It
+	// also turns on the scheduler counters reported in Stats.Sched. A
+	// nil Observer costs one nil-check per phase; see docs/OBSERVABILITY.md.
+	Observer obsv.Observer
+	// PprofLabels, when set, runs each phase's parallel workers under a
+	// pprof label set {"semisort_phase": <phase>} (via runtime/pprof.Do),
+	// so CPU profiles attribute samples to the five phases. Off by
+	// default: Do installs labels with a goroutine-local write that is
+	// measurable on very hot small inputs.
+	PprofLabels bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{}
+	if c != nil {
+		out = *c
+	}
+	if out.SampleRate <= 0 {
+		out.SampleRate = 16
+	}
+	if out.Delta <= 0 {
+		out.Delta = 16
+	}
+	if out.MaxLightBuckets <= 0 {
+		out.MaxLightBuckets = 1 << 16
+	}
+	if out.C <= 0 {
+		out.C = 1.25
+	}
+	if out.Slack <= 0 {
+		out.Slack = 1.1
+	}
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 4
+	}
+	out.Procs = parallel.Procs(out.Procs)
+	return out
+}
+
+// PhaseTimes records wall-clock time per phase, using the same five-phase
+// breakdown as Tables 2 and 3 of the paper.
+type PhaseTimes struct {
+	SampleSort time.Duration // Phase 1: sampling and sorting
+	Buckets    time.Duration // Phase 2: bucket allocation
+	Scatter    time.Duration // Phase 3: scattering
+	LocalSort  time.Duration // Phase 4: local sort
+	Pack       time.Duration // Phase 5: packing
+}
+
+// Total returns the sum over phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.SampleSort + p.Buckets + p.Scatter + p.LocalSort + p.Pack
+}
+
+// Stats describes one semisort execution.
+type Stats struct {
+	N              int        // number of input records
+	SampleSize     int        // |S|
+	HeavyKeys      int        // distinct heavy keys
+	LightBuckets   int        // light buckets after merging
+	SlotsAllocated int        // total bucket array slots (≈ Σ slack·f(s))
+	HeavyRecords   int        // records placed via the heavy path
+	EffectiveSlack float64    // slack in force for the attempt that produced the output
+	Phases         PhaseTimes // per-phase wall-clock breakdown
+
+	// Retries counts the scatter attempts that failed before the output
+	// was produced; it is always Attempts-1. A retry is NOT necessarily a
+	// Las Vegas restart in the paper's sense: the first retries on a
+	// sample keep that sample and regrow only the buckets that overflowed
+	// (bucket ids stay stable, nothing is resampled), and only the
+	// escalation path — fresh sample, doubled slack — restarts the
+	// algorithm from Phase 1. Config.Observer distinguishes the two (the
+	// AttemptStart kinds "boosted" vs "resample").
+	Retries int
+
+	// MaxProbeCluster is the longest linear-probe run any record needed
+	// to claim a slot in Phase 3 — the empirical counterpart of the
+	// paper's O(log n) w.h.p. probe-cluster bound (Section 3, placement
+	// problem). A value far above ~log2(n) means the size estimate f(s)
+	// is too tight for the workload. Always zero on the counting path,
+	// which does not probe.
+	MaxProbeCluster int
+
+	// ScatterStrategy names the Phase 3 placement the last attempt used:
+	// "probing" or "counting" (ScatterAuto resolves to one of the two
+	// per attempt, from that attempt's sample). Empty only when no
+	// attempt reached Phase 2.
+	ScatterStrategy string
+	// ScatterFlushes counts the staging-buffer flushes the counting
+	// scatter performed (full cache-line flushes plus end-of-block
+	// drains); zero on the probing path or when staging was bypassed.
+	ScatterFlushes int64
+
+	// Recovery bookkeeping (Attempts == 1 and the rest zero on a clean
+	// first-attempt success).
+
+	// Attempts counts scatter attempts executed, successful or not
+	// (always Retries+1). The sequential fallback is not a scatter
+	// attempt: a run that degrades reports the attempts that overflowed
+	// and FallbackUsed, and Attempts does not count the fallback itself.
+	Attempts int
+	// OverflowedBuckets sums, over the failed attempts, the number of
+	// buckets that rejected at least one record during that attempt's
+	// scatter. A bucket that overflows in two consecutive attempts is
+	// counted twice; a successful attempt contributes nothing.
+	OverflowedBuckets int
+	// OverflowDeficit counts records observed failing placement across
+	// all failed attempts — a lower bound on how undersized the
+	// overflowed buckets were (each failed attempt stops at its first
+	// rejected record per worker, so the true deficit may be larger).
+	OverflowDeficit int
+	// FallbackUsed reports that the output came from the deterministic
+	// sequential fallback after retry exhaustion or the MaxSlotBytes cap.
+	FallbackUsed bool
+
+	// Sched holds the scheduler-counter deltas accumulated during this
+	// call: chunks claimed by the flat runtime's cursor, steals and
+	// failed steal scans by the work-stealing pool, help-while-waiting
+	// joins, and limiter spawn/inline/queue-depth figures. Collected only
+	// while Config.Observer is non-nil (the counters are process-global,
+	// so concurrent semisorts fold into each other's deltas); all zero
+	// otherwise. See docs/OBSERVABILITY.md for each counter's meaning.
+	Sched obsv.SchedStats
+}
+
+// ErrOverflow is the sentinel wrapped by overflow-related errors. It
+// escapes SemisortWS only when DisableFallback is set and MaxRetries
+// attempts all overflowed; with fallback enabled (the default) retry
+// exhaustion degrades to the sequential semisort instead.
+var ErrOverflow = errors.New("semisort: bucket overflow")
+
+// errSlotCap aborts an attempt whose size estimate exceeds
+// Config.MaxSlotBytes; SemisortWS reacts by degrading to the fallback.
+var errSlotCap = errors.New("semisort: slot memory cap exceeded")
+
+// overflowError is an ErrOverflow carrying which buckets overflowed and
+// how many failed placements were observed, so the retry can regrow only
+// the deficient region.
+type overflowError struct {
+	buckets map[int32]int32 // bucket id → failed placements observed
+}
+
+func (e *overflowError) Error() string {
+	return fmt.Sprintf("%v (%d buckets deficient)", ErrOverflow, len(e.buckets))
+}
+
+func (e *overflowError) Unwrap() error { return ErrOverflow }
+
+// autoHeavySampleFrac is the ScatterAuto decision threshold: when at
+// least this fraction of the sample fell in heavy runs, the input is
+// duplicate-heavy enough that the counting scatter's extra histogram pass
+// costs less than the CAS contention it removes. At the representative
+// workloads, exponential λ=n/10^3 (~70% heavy) and Zipf M=10^4 (~2/3
+// heavy) resolve to counting; uniform N=n (no heavy keys) to probing.
+const autoHeavySampleFrac = 0.5
+
+// resolveScatter picks the Phase 3 placement for one attempt. Non-linear
+// probe kinds parameterize the probing scatter and force it; an empty
+// sample gives Auto nothing to predict with and falls back to probing.
+func resolveScatter(c *Config, heavySamples, ns int) ScatterStrategy {
+	if c.Probe != ProbeLinear {
+		return ScatterProbing
+	}
+	switch c.ScatterStrategy {
+	case ScatterProbing, ScatterCounting:
+		return c.ScatterStrategy
+	}
+	if ns > 0 && float64(heavySamples) >= autoHeavySampleFrac*float64(ns) {
+		return ScatterCounting
+	}
+	return ScatterProbing
+}

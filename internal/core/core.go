@@ -4,384 +4,56 @@
 // Given an array of records whose 64-bit keys are (or behave like) uniform
 // hash values, Semisort returns the records reordered so that equal keys
 // are contiguous. The algorithm runs in five phases, mirroring Section 4
-// of the paper:
+// of the paper; the implementation is an explicit pipeline with one file
+// per stage:
 //
-//  1. Sampling and sorting: pick one key from every SampleRate-record block
-//     (stratified sampling with probability p = 1/SampleRate) and sort the
-//     sample with the parallel radix sort.
-//  2. Bucket construction: classify sampled keys as heavy (≥ Delta sample
-//     occurrences) or light; allocate one array per heavy key and one per
-//     hash range of light keys, sizing each with the high-probability
-//     estimate f(s) from Section 3.1; record heavy keys in a
-//     phase-concurrent hash table. Adjacent light buckets with fewer than
-//     Delta samples are merged (the ~10% memory optimization of Phase 2).
-//  3. Scattering: write every record to a pseudo-random slot of its bucket,
-//     claiming slots with compare-and-swap and linear probing on collision —
-//     or, when Config.ScatterStrategy selects (or the sample predicts) heavy
+//  1. Sampling and sorting (sample.go): pick one key from every
+//     SampleRate-record block (stratified sampling with probability
+//     p = 1/SampleRate) and sort the sample with the parallel radix sort.
+//  2. Bucket construction (classify.go, buckets.go): classify sampled keys
+//     as heavy (≥ Delta sample occurrences) or light; allocate one array
+//     per heavy key and one per hash range of light keys, sizing each with
+//     the high-probability estimate f(s) from Section 3.1; record heavy
+//     keys in a phase-concurrent hash table. Adjacent light buckets with
+//     fewer than Delta samples are merged (the ~10% memory optimization of
+//     Phase 2).
+//  3. Scattering (scatter_probing.go, scatter_counting.go): write every
+//     record to a pseudo-random slot of its bucket, claiming slots with
+//     compare-and-swap and linear probing on collision — or, when
+//     Config.ScatterStrategy selects (or the sample predicts) heavy
 //     duplication, place records with a deterministic two-pass counting
-//     scatter that computes exact per-bucket offsets and needs no atomics
-//     (see counting.go).
-//  4. Local sort: compact each light bucket and semisort it locally
-//     (hybrid comparison sort by default, or the Rajasekaran–Reif style
-//     naming + two-pass counting sort).
-//  5. Packing: compact the heavy region with the interval technique
-//     (Section 4, Phase 5) and copy the already-compact light buckets, all
-//     into one contiguous output array.
+//     scatter that computes exact per-bucket offsets and needs no atomics.
+//  4. Local sort (localsort.go): compact each light bucket and semisort it
+//     locally (hybrid comparison sort by default, or the Rajasekaran–Reif
+//     style naming + two-pass counting sort).
+//  5. Packing (pack.go): compact the heavy region with the interval
+//     technique (Section 4, Phase 5) and copy the already-compact light
+//     buckets, all into one contiguous output array.
+//
+// The per-attempt state threading the stages together is the plan
+// (plan.go); every buffer the stages touch is owned by the Workspace
+// (workspace.go), so a warm workspace executes the whole pipeline without
+// allocating. The two Phase 3 placements implement one scatterStage
+// contract; each determines how Phases 4 and 5 traverse its layout.
 //
 // A scatter overflow (a bucket smaller than its actual multiplicity, which
 // has probability O(n^{-c})) is detected and the algorithm restarts with
 // doubled slack, making the implementation Las Vegas with respect to
-// bucket sizing, exactly as the end of Section 3 prescribes.
+// bucket sizing, exactly as the end of Section 3 prescribes. The retry
+// ladder lives in semisortInto below.
 package core
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
-	"math/bits"
-	"runtime/pprof"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/fault"
-	"repro/internal/hash"
-	"repro/internal/hashtable"
 	"repro/internal/obsv"
 	"repro/internal/parallel"
-	"repro/internal/prim"
 	"repro/internal/rec"
 	"repro/internal/seqsemi"
-	"repro/internal/sortcmp"
-	"repro/internal/sortint"
 )
-
-// LocalSortKind selects the Phase 4 algorithm for light buckets.
-type LocalSortKind int
-
-const (
-	// LocalSortHybrid sorts each light bucket with the introsort hybrid
-	// (the paper's final choice: "the sort in the C++ Standard Library").
-	LocalSortHybrid LocalSortKind = iota
-	// LocalSortCounting semisorts each light bucket with the naming
-	// problem (a small hash table assigning dense labels) followed by two
-	// passes of stable counting sort, as in the theoretical algorithm.
-	LocalSortCounting
-	// LocalSortBucket sorts each light bucket with a classic bucket sort
-	// over the (near-uniform) hashed keys — one of the alternatives the
-	// paper reports trying in Phase 4 before settling on std::sort.
-	LocalSortBucket
-)
-
-// ProbeKind selects the Phase 3 collision strategy.
-type ProbeKind int
-
-const (
-	// ProbeLinear retries at the next slot on CAS failure (the paper's
-	// choice, for cache locality).
-	ProbeLinear ProbeKind = iota
-	// ProbeRandom draws a fresh random slot on CAS failure (the
-	// theoretical placement-problem's per-record strategy); kept for
-	// ablation.
-	ProbeRandom
-	// ProbeBlockRounds runs the placement exactly as Section 3 describes
-	// it: the input is partitioned into blocks of ~log n records and
-	// placement proceeds in synchronous rounds, each block attempting one
-	// uninserted record per round at a fresh random slot. Expected
-	// α/(α−1)·log n rounds; kept for ablation against the practical CAS
-	// loop.
-	ProbeBlockRounds
-)
-
-// ScatterStrategy selects the Phase 3 placement algorithm.
-type ScatterStrategy int
-
-const (
-	// ScatterAuto resolves the strategy per attempt from the sample:
-	// counting when at least autoHeavySampleFrac of the sampled keys fall
-	// in heavy runs (duplication makes CAS contention expensive and the
-	// histogram cheap), probing otherwise. The zero value.
-	ScatterAuto ScatterStrategy = iota
-	// ScatterProbing is the paper's placement: a pseudo-random slot per
-	// record, claimed with CAS, probing on collision (parameterized by
-	// Config.Probe). Overflow triggers the Las Vegas retry ladder.
-	ScatterProbing
-	// ScatterCounting is the deterministic two-pass counting scatter: a
-	// per-block histogram over bucket ids, prefix sums to exact write
-	// cursors, then blocked writes through per-worker staging buffers
-	// that flush cache-line-sized runs. No CAS, no probing, and no
-	// overflow retries — the offsets are exact, so the path cannot fail.
-	ScatterCounting
-)
-
-func (s ScatterStrategy) String() string {
-	switch s {
-	case ScatterProbing:
-		return "probing"
-	case ScatterCounting:
-		return "counting"
-	default:
-		return "auto"
-	}
-}
-
-// Config holds the algorithm's tuning parameters. The zero value selects
-// the paper's defaults (Section 4): p = 1/16, δ = 16, 2^16 light buckets,
-// c = 1.25, slack 1.1, bucket merging on, hybrid local sort, linear
-// probing.
-type Config struct {
-	// Procs is the number of workers; <= 0 means GOMAXPROCS.
-	Procs int
-	// SampleRate is 1/p: one key is sampled from each block of SampleRate
-	// records. Default 16.
-	SampleRate int
-	// Delta is the heavy-key threshold δ: a key with at least Delta
-	// occurrences in the sample is heavy. Default 16.
-	Delta int
-	// MaxLightBuckets caps the number of hash-range slices for light keys.
-	// The effective count adapts downward for small inputs. Default 2^16.
-	MaxLightBuckets int
-	// C is the constant c in the f(s) estimate. Default 1.25.
-	C float64
-	// Slack multiplies f(s) when sizing bucket arrays. Default 1.1.
-	Slack float64
-	// DisableBucketMerging turns off the merging of adjacent light buckets
-	// that have fewer than Delta samples (ablation).
-	DisableBucketMerging bool
-	// ExactBucketSizes skips the paper's round-up-to-power-of-two when
-	// sizing bucket arrays, using ⌈Slack·f(s)⌉ exactly. This deviates from
-	// the paper's Phase 2 but reduces slot memory (and hence scatter
-	// traffic) by ~1.4x on average; see the ablation benches.
-	ExactBucketSizes bool
-	// LocalSort selects the Phase 4 algorithm.
-	LocalSort LocalSortKind
-	// Probe selects the Phase 3 collision strategy (probing scatter only).
-	// A non-linear probe kind forces ScatterProbing — the alternative
-	// probes parameterize the probing placement, so combining them with
-	// the counting scatter would be meaningless.
-	Probe ProbeKind
-	// ScatterStrategy selects the Phase 3 placement: the paper's CAS +
-	// probing scatter, the deterministic two-pass counting scatter, or
-	// (the default) an automatic per-attempt choice driven by the
-	// sample's heavy fraction.
-	ScatterStrategy ScatterStrategy
-	// MaxRetries bounds Las Vegas restarts after bucket overflow. The
-	// retry policy is adaptive: the first restarts regrow only the
-	// buckets that overflowed (keeping the same sample); persistent
-	// overflow escalates to a fresh sample with doubled Slack. Default 4.
-	MaxRetries int
-	// Seed makes runs reproducible; retries derive fresh randomness from
-	// it deterministically.
-	Seed uint64
-	// Context, when non-nil, cancels the semisort cooperatively. It is
-	// checked at every phase boundary and at parallel-for chunk
-	// boundaries (never per record), so the hot path is unaffected. On
-	// cancellation the returned error wraps Context.Err().
-	Context context.Context
-	// MaxSlotBytes caps the bucket slot memory (16 bytes per slot) any
-	// attempt may allocate. An attempt whose estimate exceeds the cap
-	// degrades to the sequential fallback instead of allocating.
-	// 0 means no cap.
-	MaxSlotBytes int64
-	// DisableFallback makes retry exhaustion return ErrOverflow instead
-	// of degrading to the deterministic sequential semisort.
-	DisableFallback bool
-	// Observer, when non-nil, receives a structured trace of the call:
-	// an AttemptStart/AttemptEnd pair per scatter attempt (and per
-	// fallback) with a PhaseStart/PhaseEnd span for every phase the
-	// attempt reaches, all invoked on the orchestrating goroutine. It
-	// also turns on the scheduler counters reported in Stats.Sched. A
-	// nil Observer costs one nil-check per phase; see docs/OBSERVABILITY.md.
-	Observer obsv.Observer
-	// PprofLabels, when set, runs each phase's parallel workers under a
-	// pprof label set {"semisort_phase": <phase>} (via runtime/pprof.Do),
-	// so CPU profiles attribute samples to the five phases. Off by
-	// default: Do installs labels with a goroutine-local write that is
-	// measurable on very hot small inputs.
-	PprofLabels bool
-}
-
-func (c *Config) withDefaults() Config {
-	out := Config{}
-	if c != nil {
-		out = *c
-	}
-	if out.SampleRate <= 0 {
-		out.SampleRate = 16
-	}
-	if out.Delta <= 0 {
-		out.Delta = 16
-	}
-	if out.MaxLightBuckets <= 0 {
-		out.MaxLightBuckets = 1 << 16
-	}
-	if out.C <= 0 {
-		out.C = 1.25
-	}
-	if out.Slack <= 0 {
-		out.Slack = 1.1
-	}
-	if out.MaxRetries <= 0 {
-		out.MaxRetries = 4
-	}
-	out.Procs = parallel.Procs(out.Procs)
-	return out
-}
-
-// PhaseTimes records wall-clock time per phase, using the same five-phase
-// breakdown as Tables 2 and 3 of the paper.
-type PhaseTimes struct {
-	SampleSort time.Duration // Phase 1: sampling and sorting
-	Buckets    time.Duration // Phase 2: bucket allocation
-	Scatter    time.Duration // Phase 3: scattering
-	LocalSort  time.Duration // Phase 4: local sort
-	Pack       time.Duration // Phase 5: packing
-}
-
-// Total returns the sum over phases.
-func (p PhaseTimes) Total() time.Duration {
-	return p.SampleSort + p.Buckets + p.Scatter + p.LocalSort + p.Pack
-}
-
-// Stats describes one semisort execution.
-type Stats struct {
-	N              int        // number of input records
-	SampleSize     int        // |S|
-	HeavyKeys      int        // distinct heavy keys
-	LightBuckets   int        // light buckets after merging
-	SlotsAllocated int        // total bucket array slots (≈ Σ slack·f(s))
-	HeavyRecords   int        // records placed via the heavy path
-	EffectiveSlack float64    // slack in force for the attempt that produced the output
-	Phases         PhaseTimes // per-phase wall-clock breakdown
-
-	// Retries counts the scatter attempts that failed before the output
-	// was produced; it is always Attempts-1. A retry is NOT necessarily a
-	// Las Vegas restart in the paper's sense: the first retries on a
-	// sample keep that sample and regrow only the buckets that overflowed
-	// (bucket ids stay stable, nothing is resampled), and only the
-	// escalation path — fresh sample, doubled slack — restarts the
-	// algorithm from Phase 1. Config.Observer distinguishes the two (the
-	// AttemptStart kinds "boosted" vs "resample").
-	Retries int
-
-	// MaxProbeCluster is the longest linear-probe run any record needed
-	// to claim a slot in Phase 3 — the empirical counterpart of the
-	// paper's O(log n) w.h.p. probe-cluster bound (Section 3, placement
-	// problem). A value far above ~log2(n) means the size estimate f(s)
-	// is too tight for the workload. Always zero on the counting path,
-	// which does not probe.
-	MaxProbeCluster int
-
-	// ScatterStrategy names the Phase 3 placement the last attempt used:
-	// "probing" or "counting" (ScatterAuto resolves to one of the two
-	// per attempt, from that attempt's sample). Empty only when no
-	// attempt reached Phase 2.
-	ScatterStrategy string
-	// ScatterFlushes counts the staging-buffer flushes the counting
-	// scatter performed (full cache-line flushes plus end-of-block
-	// drains); zero on the probing path or when staging was bypassed.
-	ScatterFlushes int64
-
-	// Recovery bookkeeping (Attempts == 1 and the rest zero on a clean
-	// first-attempt success).
-
-	// Attempts counts scatter attempts executed, successful or not
-	// (always Retries+1). The sequential fallback is not a scatter
-	// attempt: a run that degrades reports the attempts that overflowed
-	// and FallbackUsed, and Attempts does not count the fallback itself.
-	Attempts int
-	// OverflowedBuckets sums, over the failed attempts, the number of
-	// buckets that rejected at least one record during that attempt's
-	// scatter. A bucket that overflows in two consecutive attempts is
-	// counted twice; a successful attempt contributes nothing.
-	OverflowedBuckets int
-	// OverflowDeficit counts records observed failing placement across
-	// all failed attempts — a lower bound on how undersized the
-	// overflowed buckets were (each failed attempt stops at its first
-	// rejected record per worker, so the true deficit may be larger).
-	OverflowDeficit int
-	// FallbackUsed reports that the output came from the deterministic
-	// sequential fallback after retry exhaustion or the MaxSlotBytes cap.
-	FallbackUsed bool
-
-	// Sched holds the scheduler-counter deltas accumulated during this
-	// call: chunks claimed by the flat runtime's cursor, steals and
-	// failed steal scans by the work-stealing pool, help-while-waiting
-	// joins, and limiter spawn/inline/queue-depth figures. Collected only
-	// while Config.Observer is non-nil (the counters are process-global,
-	// so concurrent semisorts fold into each other's deltas); all zero
-	// otherwise. See docs/OBSERVABILITY.md for each counter's meaning.
-	Sched obsv.SchedStats
-}
-
-// ErrOverflow is the sentinel wrapped by overflow-related errors. It
-// escapes SemisortWS only when DisableFallback is set and MaxRetries
-// attempts all overflowed; with fallback enabled (the default) retry
-// exhaustion degrades to the sequential semisort instead.
-var ErrOverflow = errors.New("semisort: bucket overflow")
-
-// errSlotCap aborts an attempt whose size estimate exceeds
-// Config.MaxSlotBytes; SemisortWS reacts by degrading to the fallback.
-var errSlotCap = errors.New("semisort: slot memory cap exceeded")
-
-// overflowError is an ErrOverflow carrying which buckets overflowed and
-// how many failed placements were observed, so the retry can regrow only
-// the deficient region.
-type overflowError struct {
-	buckets map[int32]int32 // bucket id → failed placements observed
-}
-
-func (e *overflowError) Error() string {
-	return fmt.Sprintf("%v (%d buckets deficient)", ErrOverflow, len(e.buckets))
-}
-
-func (e *overflowError) Unwrap() error { return ErrOverflow }
-
-// A Workspace holds the algorithm's scratch buffers (sample arrays, slot
-// array, occupancy flags) so repeated semisorts can reuse memory instead of
-// reallocating ~4-6n slots per call. A zero Workspace is ready to use; it
-// grows on demand and is NOT safe for concurrent use by multiple semisorts.
-type Workspace struct {
-	sample        []uint64
-	sampleScratch []uint64
-	slots         []rec.Record
-	occ           []uint32
-	hist          []int32
-}
-
-// getSample returns sample key buffers of length ns.
-func (w *Workspace) getSample(ns int) (sample, scratch []uint64) {
-	if cap(w.sample) < ns {
-		w.sample = make([]uint64, ns)
-		w.sampleScratch = make([]uint64, ns)
-	}
-	return w.sample[:ns], w.sampleScratch[:ns]
-}
-
-// getHist returns a zeroed int32 scratch of length m for the counting
-// scatter's per-block histograms.
-func (w *Workspace) getHist(m int) []int32 {
-	if cap(w.hist) < m {
-		w.hist = make([]int32, m)
-		return w.hist
-	}
-	h := w.hist[:m]
-	clear(h)
-	return h
-}
-
-// getSlots returns a slot array and cleared occupancy flags of length total.
-func (w *Workspace) getSlots(total int64) ([]rec.Record, []uint32) {
-	if int64(cap(w.slots)) < total {
-		w.slots = make([]rec.Record, total)
-		w.occ = make([]uint32, total)
-		return w.slots, w.occ
-	}
-	occ := w.occ[:total]
-	clear(occ)
-	return w.slots[:total], occ
-}
 
 // Semisort returns a new array holding the records of a with equal keys
 // contiguous. The input is not modified. Callers performing many semisorts
@@ -401,10 +73,43 @@ func Semisort(a []rec.Record, cfg *Config) ([]rec.Record, Stats, error) {
 // on a fork–join worker (e.g. out of memory in one chunk) is returned as
 // an error wrapping *parallel.PanicError. A canceled Config.Context
 // returns an error wrapping the context's error.
-func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, stats Stats, err error) {
+func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) ([]rec.Record, Stats, error) {
 	if ws == nil {
 		ws = &Workspace{}
 	}
+	return semisortInto(ws, nil, a, cfg, false)
+}
+
+// SemisortInto is SemisortWS writing the output into dst when
+// cap(dst) >= len(a) and dst does not alias a; otherwise a fresh output
+// array is allocated exactly as SemisortWS would. The returned slice is
+// the one actually used. The input is never modified.
+func SemisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config) ([]rec.Record, Stats, error) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	return semisortInto(ws, dst, a, cfg, false)
+}
+
+// SemisortShared is SemisortWS returning a slice owned by the workspace:
+// the output buffer is retained in ws and reused by the next Shared call,
+// so a steady-state caller allocates nothing at all. The returned slice is
+// only valid until the next call through ws (passing it back in as the
+// next input is safe — aliasing is detected and a fresh buffer is used).
+func SemisortShared(ws *Workspace, a []rec.Record, cfg *Config) ([]rec.Record, Stats, error) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	return semisortInto(ws, ws.out, a, cfg, true)
+}
+
+// semisortInto runs the Las Vegas retry ladder over pipeline attempts
+// (plan.semisortOnce), then the sequential fallback when the ladder is
+// exhausted. When retain is set the produced output is kept in ws.out for
+// the next Shared call. The deferred epilogue drops the plan's references
+// to caller memory and enforces Config.MaxRetainedBytes, whatever path
+// returned.
+func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool) (out []rec.Record, stats Stats, err error) {
 	c := cfg.withDefaults()
 	defer func() {
 		if r := recover(); r != nil {
@@ -414,6 +119,11 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, s
 			}
 			out, err = nil, fmt.Errorf("semisort: worker panic: %w", pe)
 		}
+		if retain && out != nil {
+			ws.out = out
+		}
+		ws.plan.clearRefs()
+		ws.shrink(c.MaxRetainedBytes)
 	}()
 
 	tr := newTracer(&c)
@@ -426,6 +136,7 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, s
 		defer func() { stats.Sched = obsv.SchedSnapshot().Sub(schedBase) }()
 	}
 
+	pl := &ws.plan
 	var (
 		boost           map[int32]float64 // bucket id → size multiplier
 		boostRetries    int               // boosted retries on the current sample
@@ -452,7 +163,9 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, s
 				Slack: c.Slack, BoostedBuckets: len(boost),
 			})
 		}
-		res, s, oerr := semisortOnce(ws, a, c, sampleAttempt, attempt, boost, &tr)
+		pl.begin(ws, a, dst, &c, sampleAttempt, attempt, boost, &tr)
+		res, oerr := semisortOnce(pl)
+		s := pl.stats
 		s.Retries = attempt
 		s.Attempts = attempt + 1
 		s.EffectiveSlack = c.Slack
@@ -485,7 +198,7 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) (out []rec.Record, s
 			// when boosting alone does not converge.
 			if boostRetries < 2 && len(of.buckets) > 0 {
 				if boost == nil {
-					boost = make(map[int32]float64, len(of.buckets))
+					boost = ws.getBoost()
 				}
 				for id := range of.buckets {
 					m := boost[id]
@@ -557,836 +270,4 @@ func ctxErr(ctx context.Context) error {
 		return nil
 	}
 	return ctx.Err()
-}
-
-// tracer emits one semisort call's obsv events and pprof labels. With a
-// nil observer and labels off every probe is a nil/bool check — no time
-// reads, no allocation — so the uninstrumented hot path is unaffected.
-type tracer struct {
-	obs    obsv.Observer
-	epoch  time.Time // call start; span offsets are relative to it
-	ctx    context.Context
-	labels bool
-}
-
-func newTracer(c *Config) tracer {
-	t := tracer{obs: c.Observer, ctx: c.Context, labels: c.PprofLabels}
-	if t.obs != nil {
-		t.epoch = time.Now()
-	}
-	return t
-}
-
-// phaseStart announces a phase; always balanced by span() on the same
-// goroutine (the runtime/trace region contract).
-func (t *tracer) phaseStart(attempt int, ph obsv.Phase) {
-	if t.obs != nil {
-		t.obs.PhaseStart(attempt, ph)
-	}
-}
-
-// span closes the phase opened by phaseStart, started at wall-clock
-// start, with the given outcome.
-func (t *tracer) span(attempt int, ph obsv.Phase, start time.Time, outcome string) {
-	if t.obs == nil {
-		return
-	}
-	t.obs.PhaseEnd(obsv.Span{
-		Attempt:  attempt,
-		Phase:    ph,
-		Start:    start.Sub(t.epoch),
-		Duration: time.Since(start),
-		Outcome:  outcome,
-	})
-}
-
-// scatterSpan closes a scatter span like span(), additionally attaching
-// the strategy attribute and, on the counting path, the staging-flush
-// counter.
-func (t *tracer) scatterSpan(attempt int, start time.Time, outcome string, strat ScatterStrategy, flushes int64) {
-	if t.obs == nil {
-		return
-	}
-	t.obs.PhaseEnd(obsv.Span{
-		Attempt:  attempt,
-		Phase:    obsv.PhaseScatter,
-		Start:    start.Sub(t.epoch),
-		Duration: time.Since(start),
-		Outcome:  outcome,
-		Strategy: strat.String(),
-		Flushes:  flushes,
-	})
-}
-
-func (t *tracer) attemptStart(a obsv.Attempt) {
-	if t.obs != nil {
-		t.obs.AttemptStart(a)
-	}
-}
-
-func (t *tracer) attemptEnd(e obsv.AttemptEnd) {
-	if t.obs != nil {
-		t.obs.AttemptEnd(e)
-	}
-}
-
-// labeled runs fn under the pprof label set {"semisort_phase": phase}
-// when Config.PprofLabels is on, so goroutines forked inside fn (the
-// phase's parallel workers inherit their creator's labels) show up
-// attributed to the phase in CPU profiles.
-func (t *tracer) labeled(phase string, fn func()) {
-	if !t.labels {
-		fn()
-		return
-	}
-	ctx := t.ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	pprof.Do(ctx, pprof.Labels("semisort_phase", phase), func(context.Context) { fn() })
-}
-
-// phaseGate marks one of the five phase boundaries: it gives the fault
-// injector its cancellation hook and reports a pending cancellation.
-func phaseGate(ctx context.Context, phase string) error {
-	fault.Should(fault.PhaseBoundary)
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("semisort: canceled at %s: %w", phase, err)
-		}
-	}
-	return nil
-}
-
-// bucket describes one slot range: [off, off+sz) in the slot arrays.
-type bucket struct {
-	off int64
-	sz  uint64 // a power of two unless Config.ExactBucketSizes is set
-}
-
-// sizeEstimate is the paper's f(s) multiplied by slack and, unless exact
-// sizing is requested, rounded up to a power of two (Section 4, Phase 2):
-// the high-probability bound on the record count of a bucket with s sample
-// hits. Exact sizing trades the cheap power-of-two masking for ~1.4x less
-// slot memory (measured in the ablation benches).
-func sizeEstimate(s int, logn float64, c, slack float64, rate int, exact bool) int {
-	cln := c * logn
-	f := (float64(s) + cln + math.Sqrt(cln*cln+2*float64(s)*cln)) * float64(rate)
-	size := int(math.Ceil(slack * f))
-	if size < 4 {
-		size = 4
-	}
-	if exact {
-		return size
-	}
-	return 1 << uint(bits.Len(uint(size-1)))
-}
-
-// autoHeavySampleFrac is the ScatterAuto decision threshold: when at
-// least this fraction of the sample fell in heavy runs, the input is
-// duplicate-heavy enough that the counting scatter's extra histogram pass
-// costs less than the CAS contention it removes. At the representative
-// workloads, exponential λ=n/10^3 (~70% heavy) and Zipf M=10^4 (~2/3
-// heavy) resolve to counting; uniform N=n (no heavy keys) to probing.
-const autoHeavySampleFrac = 0.5
-
-// resolveScatter picks the Phase 3 placement for one attempt. Non-linear
-// probe kinds parameterize the probing scatter and force it; an empty
-// sample gives Auto nothing to predict with and falls back to probing.
-func resolveScatter(c *Config, heavySamples, ns int) ScatterStrategy {
-	if c.Probe != ProbeLinear {
-		return ScatterProbing
-	}
-	switch c.ScatterStrategy {
-	case ScatterProbing, ScatterCounting:
-		return c.ScatterStrategy
-	}
-	if ns > 0 && float64(heavySamples) >= autoHeavySampleFrac*float64(ns) {
-		return ScatterCounting
-	}
-	return ScatterProbing
-}
-
-// semisortOnce runs one Las Vegas attempt. sampleAttempt seeds the
-// sampling randomness (stable across boosted retries so bucket ids remain
-// comparable), scatterAttempt seeds the scatter randomness (fresh every
-// attempt), boost multiplies the size estimate of specific buckets that
-// overflowed on a previous attempt with the same sample, and tr receives
-// the attempt's phase spans (scatterAttempt doubles as the span attempt
-// index).
-func semisortOnce(ws *Workspace, a []rec.Record, c Config, sampleAttempt, scatterAttempt int, boost map[int32]float64, tr *tracer) ([]rec.Record, Stats, error) {
-	n := len(a)
-	attempt := scatterAttempt
-	var stats Stats
-	stats.N = n
-	if n == 0 {
-		return []rec.Record{}, stats, nil
-	}
-	procs := c.Procs
-	ctx := c.Context
-	logn := math.Log(math.Max(float64(n), 2))
-	rng := hash.NewRNG(c.Seed + uint64(sampleAttempt)*0x9e3779b97f4a7c15 + 1)
-
-	// ------------------------------------------------------------------
-	// Phase 1: sampling and sorting.
-	if err := phaseGate(ctx, "sampling"); err != nil {
-		return nil, stats, err
-	}
-	tr.phaseStart(attempt, obsv.PhaseSample)
-	t0 := time.Now()
-	rate := c.SampleRate
-	ns := n / rate
-	sample, sampleScratch := ws.getSample(ns)
-	var sampleErr error
-	tr.labeled("sample", func() {
-		sampleErr = parallel.ForCtx(ctx, procs, ns, 4096, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				j := i*rate + int(rng.RandBounded(uint64(i), uint64(rate)))
-				sample[i] = a[j].Key
-			}
-		})
-		if sampleErr == nil && ns > 0 {
-			sortint.SortUint64With(procs, sample, sampleScratch)
-		}
-	})
-	if sampleErr != nil {
-		tr.span(attempt, obsv.PhaseSample, t0, obsv.OutcomeCanceled)
-		return nil, stats, fmt.Errorf("semisort: canceled at sampling: %w", sampleErr)
-	}
-	stats.SampleSize = ns
-	stats.Phases.SampleSort = time.Since(t0)
-	tr.span(attempt, obsv.PhaseSample, t0, obsv.OutcomeOK)
-
-	// ------------------------------------------------------------------
-	// Phase 2: bucket construction — traced as two spans, "classify"
-	// (heavy/light classification of the sorted sample's runs) and
-	// "allocate" (bucket table + slot arrays); PhaseTimes.Buckets is
-	// their sum.
-	if err := phaseGate(ctx, "bucket construction"); err != nil {
-		return nil, stats, err
-	}
-	tr.phaseStart(attempt, obsv.PhaseClassify)
-	t0 = time.Now()
-
-	// Offsets of distinct-key runs in the sorted sample.
-	runStarts := prim.PackIndex(procs, ns, func(i int) bool {
-		return i == 0 || sample[i] != sample[i-1]
-	})
-	numRuns := len(runStarts)
-
-	// Effective light bucket count: ~n/1024 hash-range slices, matching the
-	// paper's records-per-bucket ratio (2^16 buckets for n=10^8 is ~1500
-	// records each); we adapt for smaller n instead of fixing 2^16.
-	numLight := 1
-	if n > 1024 {
-		numLight = 1 << uint(bits.Len(uint(n/1024-1)))
-	}
-	if numLight > c.MaxLightBuckets {
-		numLight = c.MaxLightBuckets
-	}
-	shift := uint(64 - bits.Len(uint(numLight-1)))
-	if numLight == 1 {
-		shift = 64
-	}
-
-	// Classify runs: heavy runs are collected; light runs contribute their
-	// count to the hash-range histogram.
-	type heavyRun struct {
-		key   uint64
-		count int32
-	}
-	lightCounts := make([]int32, numLight)
-	heavyLists := make([][]heavyRun, 0)
-	var heavyMu atomic.Int64      // count of heavy keys (cheap stat)
-	var heavySamples atomic.Int64 // sample hits in heavy runs (Auto signal)
-	tr.labeled("classify", func() {
-		grain := parallel.Grain(numRuns, procs, 512)
-		nblocks := 0
-		if numRuns > 0 {
-			nblocks = (numRuns + grain - 1) / grain
-		}
-		heavyLists = make([][]heavyRun, nblocks)
-		parallel.For(procs, nblocks, 1, func(blo, bhi int) {
-			for blk := blo; blk < bhi; blk++ {
-				s, e := blk*grain, min((blk+1)*grain, numRuns)
-				var local []heavyRun
-				var localSamp int64
-				for ri := s; ri < e; ri++ {
-					start := int(runStarts[ri])
-					end := ns
-					if ri+1 < numRuns {
-						end = int(runStarts[ri+1])
-					}
-					count := int32(end - start)
-					if int(count) >= c.Delta {
-						local = append(local, heavyRun{key: sample[start], count: count})
-						localSamp += int64(count)
-					} else {
-						b := sample[start] >> shift
-						atomic.AddInt32(&lightCounts[b], count)
-					}
-				}
-				heavyLists[blk] = local
-				heavyMu.Add(int64(len(local)))
-				heavySamples.Add(localSamp)
-			}
-		})
-	})
-	numHeavy := int(heavyMu.Load())
-	strat := resolveScatter(&c, int(heavySamples.Load()), ns)
-	stats.ScatterStrategy = strat.String()
-	tr.span(attempt, obsv.PhaseClassify, t0, obsv.OutcomeOK)
-	tr.phaseStart(attempt, obsv.PhaseAllocate)
-	tAlloc := time.Now()
-
-	// Build the bucket table. Heavy buckets first, then (merged) light
-	// buckets, all carved out of one big slot array so Phase 5 can pack
-	// with simple interval scans.
-	buckets := make([]bucket, 0, numHeavy+numLight)
-	var slotTotal int64
-
-	// The heavy-key hash table maps key -> bucket index. One key value is
-	// reserved by the table as its empty marker; a heavy run with that
-	// exact key gets a dedicated bucket checked before the table lookup.
-	table := hashtable.New(max(numHeavy, 1))
-	emptyKeyBucket := int64(-1)
-	for _, lst := range heavyLists {
-		for _, hr := range lst {
-			id := int64(len(buckets))
-			size := sizeEstimate(int(hr.count), logn, c.C, c.Slack, rate, c.ExactBucketSizes)
-			if m, ok := boost[int32(id)]; ok {
-				size = boostSize(size, m, c.ExactBucketSizes)
-			}
-			b := bucket{off: slotTotal, sz: uint64(size)}
-			buckets = append(buckets, b)
-			slotTotal += int64(size)
-			if hr.key == hashtable.Empty {
-				emptyKeyBucket = id
-			} else {
-				table.Insert(hr.key, uint64(id))
-			}
-		}
-	}
-	heavySlotEnd := slotTotal
-
-	// Merged light buckets: combine adjacent hash-range slices until each
-	// merged bucket holds at least Delta samples (or a single slice when
-	// merging is disabled).
-	lightBucketOf := make([]int32, numLight)
-	firstLight := len(buckets)
-	{
-		start := 0
-		var acc int32
-		for i := 0; i < numLight; i++ {
-			acc += lightCounts[i]
-			atEnd := i == numLight-1
-			if !atEnd && !c.DisableBucketMerging && int(acc) < c.Delta {
-				continue
-			}
-			if c.DisableBucketMerging || int(acc) >= c.Delta || atEnd {
-				id := int32(len(buckets))
-				size := sizeEstimate(int(acc), logn, c.C, c.Slack, rate, c.ExactBucketSizes)
-				if m, ok := boost[id]; ok {
-					size = boostSize(size, m, c.ExactBucketSizes)
-				}
-				buckets = append(buckets, bucket{off: slotTotal, sz: uint64(size)})
-				slotTotal += int64(size)
-				for j := start; j <= i; j++ {
-					lightBucketOf[j] = id
-				}
-				start = i + 1
-				acc = 0
-			}
-		}
-	}
-	numLightMerged := len(buckets) - firstLight
-
-	var slots []rec.Record
-	var occ []uint32
-	var plan countingPlan
-	if strat == ScatterCounting {
-		// The counting scatter writes straight into the output array, so
-		// the attempt allocates no slot slack — only the histogram and
-		// staging scratch, which the same memory cap governs.
-		plan = planCounting(n, procs, len(buckets))
-		if c.MaxSlotBytes > 0 && plan.scratchBytes > c.MaxSlotBytes {
-			stats.Phases.Buckets = time.Since(t0)
-			tr.span(attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
-			return nil, stats, fmt.Errorf("%w: counting scatter needs %d scratch bytes, cap %d",
-				errSlotCap, plan.scratchBytes, c.MaxSlotBytes)
-		}
-		stats.SlotsAllocated = n
-	} else {
-		if c.MaxSlotBytes > 0 && slotTotal*16 > c.MaxSlotBytes {
-			stats.Phases.Buckets = time.Since(t0)
-			tr.span(attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
-			return nil, stats, fmt.Errorf("%w: need %d slot bytes, cap %d",
-				errSlotCap, slotTotal*16, c.MaxSlotBytes)
-		}
-		slots, occ = ws.getSlots(slotTotal)
-		stats.SlotsAllocated = int(slotTotal)
-	}
-	stats.HeavyKeys = numHeavy
-	stats.LightBuckets = numLightMerged
-	stats.Phases.Buckets = time.Since(t0)
-	tr.span(attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeOK)
-
-	// ------------------------------------------------------------------
-	// Phase 3: scattering.
-	if err := phaseGate(ctx, "scatter"); err != nil {
-		return nil, stats, err
-	}
-	tr.phaseStart(attempt, obsv.PhaseScatter)
-	t0 = time.Now()
-
-	// bucketOf resolves a record to its bucket id and whether it took the
-	// heavy path.
-	bucketOf := func(r rec.Record) (int64, bool) {
-		if r.Key == hashtable.Empty {
-			if emptyKeyBucket >= 0 {
-				// The table's reserved key gets a dedicated heavy bucket.
-				return emptyKeyBucket, true
-			}
-			return int64(lightBucketOf[r.Key>>shift]), false
-		}
-		if v, ok := table.Lookup(r.Key); ok {
-			return int64(v), true
-		}
-		// lightBucketOf stores absolute bucket indices.
-		return int64(lightBucketOf[r.Key>>shift]), false
-	}
-
-	if strat == ScatterCounting {
-		// Counting scatter: two deterministic passes place every record at
-		// its final packed position in the output — exact per-bucket
-		// offsets mean no CAS, no probing and no overflow, so this path
-		// never retries (and the ScatterOverflow injection point, which
-		// models probe-slack exhaustion, does not apply). Phases 4 and 5
-		// still run so traces keep the six-phase shape, but packing is a
-		// no-op: the scatter already packed.
-		out := make([]rec.Record, n)
-		var cres countingResult
-		var cErr error
-		tr.labeled("scatter", func() {
-			cres, cErr = scatterCounting(ctx, procs, a, len(buckets), bucketOf, out, plan, ws)
-		})
-		if cErr != nil {
-			tr.scatterSpan(attempt, t0, obsv.OutcomeCanceled, strat, 0)
-			return nil, stats, fmt.Errorf("semisort: canceled at scatter: %w", cErr)
-		}
-		stats.HeavyRecords = int(cres.base[firstLight])
-		stats.ScatterFlushes = cres.flushes
-		stats.Phases.Scatter = time.Since(t0)
-		tr.scatterSpan(attempt, t0, obsv.OutcomeOK, strat, cres.flushes)
-
-		// Phase 4: local sort of light buckets, in place in the output.
-		if err := phaseGate(ctx, "local sort"); err != nil {
-			return nil, stats, err
-		}
-		tr.phaseStart(attempt, obsv.PhaseLocalSort)
-		t0 = time.Now()
-		var lsErr error
-		tr.labeled("localsort", func() {
-			lsErr = parallel.ForEachCtx(ctx, procs, numLightMerged, 1, func(j int) {
-				b := firstLight + j
-				lo := int(cres.base[b])
-				localSortSeg(c.LocalSort, out[lo:lo+int(cres.counts[b])])
-			})
-		})
-		if lsErr != nil {
-			tr.span(attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeCanceled)
-			return nil, stats, fmt.Errorf("semisort: canceled at local sort: %w", lsErr)
-		}
-		stats.Phases.LocalSort = time.Since(t0)
-		tr.span(attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeOK)
-
-		// Phase 5: packing — already done by the scatter; the span is kept
-		// so every strategy traces the same phase sequence.
-		if err := phaseGate(ctx, "pack"); err != nil {
-			return nil, stats, err
-		}
-		tr.phaseStart(attempt, obsv.PhasePack)
-		t0 = time.Now()
-		stats.Phases.Pack = time.Since(t0)
-		tr.span(attempt, obsv.PhasePack, t0, obsv.OutcomeOK)
-
-		if cres.total != n {
-			return nil, stats, fmt.Errorf("semisort internal error: counting scatter placed %d of %d records", cres.total, n)
-		}
-		return out, stats, nil
-	}
-
-	scatterRNG := hash.NewRNG(c.Seed ^ (uint64(scatterAttempt)+1)*0xd1342543de82ef95)
-	if fault.Should(fault.ScatterOverflow) {
-		stats.Phases.Scatter = time.Since(t0)
-		tr.scatterSpan(attempt, t0, obsv.OutcomeOverflow, strat, 0)
-		return nil, stats, &overflowError{buckets: map[int32]int32{0: 1}}
-	}
-
-	var overflow atomic.Bool
-	var heavyPlaced atomic.Int64
-	var maxCluster atomic.Int64
-
-	// Overflow detail: which buckets rejected a record, so the retry can
-	// regrow only those. Failures are terminal for the attempt (each
-	// worker records at most one), so a mutex-protected map is fine.
-	var ofMu sync.Mutex
-	var ofBuckets map[int32]int32
-	recordOverflow := func(bid int64) {
-		ofMu.Lock()
-		if ofBuckets == nil {
-			ofBuckets = make(map[int32]int32)
-		}
-		ofBuckets[int32(bid)]++
-		ofMu.Unlock()
-		overflow.Store(true)
-	}
-
-	if c.Probe == ProbeBlockRounds {
-		var brErr error
-		tr.labeled("scatter", func() {
-			brErr = scatterBlockRounds(procs, a, buckets, slots, occ, bucketOf,
-				scatterRNG, c.ExactBucketSizes, &heavyPlaced)
-		})
-		if brErr != nil {
-			outcome := obsv.OutcomeCanceled
-			if errors.Is(brErr, ErrOverflow) {
-				outcome = obsv.OutcomeOverflow
-			}
-			tr.scatterSpan(attempt, t0, outcome, strat, 0)
-			return nil, stats, brErr
-		}
-	} else {
-		var scatterErr error
-		scatterBody := func(lo, hi int) {
-			if overflow.Load() {
-				return
-			}
-			if fault.Should(fault.ProbeSaturation) {
-				bid, _ := bucketOf(a[lo])
-				recordOverflow(bid)
-				return
-			}
-			localHeavy := int64(0)
-			localMaxRun := int64(0)
-			for i := lo; i < hi; i++ {
-				r := a[i]
-				bid, heavy := bucketOf(r)
-				if heavy {
-					localHeavy++
-				}
-				bk := buckets[bid]
-				pos := bucketPos(scatterRNG.Rand(uint64(i)), bk.sz, c.ExactBucketSizes)
-				placed := false
-				for try := uint64(0); try < bk.sz; try++ {
-					idx := bk.off + int64(pos)
-					if c.Probe == ProbeRandom {
-						idx = bk.off + int64(bucketPos(scatterRNG.Rand(uint64(i)^(try+1)<<32), bk.sz, c.ExactBucketSizes))
-					}
-					if atomic.CompareAndSwapUint32(&occ[idx], 0, 1) {
-						slots[idx] = r
-						placed = true
-						if int64(try) > localMaxRun {
-							localMaxRun = int64(try)
-						}
-						break
-					}
-					pos++
-					if pos == bk.sz {
-						pos = 0
-					}
-				}
-				if !placed {
-					recordOverflow(bid)
-					return
-				}
-			}
-			heavyPlaced.Add(localHeavy)
-			for {
-				cur := maxCluster.Load()
-				if localMaxRun <= cur || maxCluster.CompareAndSwap(cur, localMaxRun) {
-					break
-				}
-			}
-		}
-		tr.labeled("scatter", func() {
-			scatterErr = parallel.ForCtx(ctx, procs, n, 8192, scatterBody)
-		})
-		if scatterErr != nil {
-			tr.scatterSpan(attempt, t0, obsv.OutcomeCanceled, strat, 0)
-			return nil, stats, fmt.Errorf("semisort: canceled at scatter: %w", scatterErr)
-		}
-		if overflow.Load() {
-			stats.Phases.Scatter = time.Since(t0)
-			tr.scatterSpan(attempt, t0, obsv.OutcomeOverflow, strat, 0)
-			return nil, stats, &overflowError{buckets: ofBuckets}
-		}
-	}
-	stats.HeavyRecords = int(heavyPlaced.Load())
-	stats.MaxProbeCluster = int(maxCluster.Load())
-	stats.Phases.Scatter = time.Since(t0)
-	tr.scatterSpan(attempt, t0, obsv.OutcomeOK, strat, 0)
-
-	// ------------------------------------------------------------------
-	// Phase 4: local sort of light buckets (compact, then semisort).
-	if err := phaseGate(ctx, "local sort"); err != nil {
-		return nil, stats, err
-	}
-	tr.phaseStart(attempt, obsv.PhaseLocalSort)
-	t0 = time.Now()
-	lightCnt := make([]int32, numLightMerged)
-	var lsErr error
-	tr.labeled("localsort", func() {
-		lsErr = parallel.ForEachCtx(ctx, procs, numLightMerged, 1, func(j int) {
-			bk := buckets[firstLight+j]
-			lo, hi := bk.off, bk.off+int64(bk.sz)
-			w := lo
-			for i := lo; i < hi; i++ {
-				if occ[i] != 0 {
-					slots[w] = slots[i]
-					w++
-				}
-			}
-			cnt := int(w - lo)
-			lightCnt[j] = int32(cnt)
-			localSortSeg(c.LocalSort, slots[lo:lo+int64(cnt)])
-		})
-	})
-	if lsErr != nil {
-		tr.span(attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeCanceled)
-		return nil, stats, fmt.Errorf("semisort: canceled at local sort: %w", lsErr)
-	}
-	stats.Phases.LocalSort = time.Since(t0)
-	tr.span(attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeOK)
-
-	// ------------------------------------------------------------------
-	// Phase 5: packing.
-	if err := phaseGate(ctx, "pack"); err != nil {
-		return nil, stats, err
-	}
-	tr.phaseStart(attempt, obsv.PhasePack)
-	t0 = time.Now()
-	out := make([]rec.Record, n)
-
-	heavyTotal := 0
-	var lightTotal int32
-	tr.labeled("pack", func() {
-		// Heavy region: split [0, heavySlotEnd) into ~1000 intervals;
-		// compact each interval in place, prefix-sum the counts, copy out.
-		if heavySlotEnd > 0 {
-			intervals := 1000
-			if heavySlotEnd < int64(intervals)*64 {
-				intervals = int(heavySlotEnd/64) + 1
-			}
-			ilen := (heavySlotEnd + int64(intervals) - 1) / int64(intervals)
-			counts := make([]int32, intervals)
-			parallel.ForEach(procs, intervals, 1, func(iv int) {
-				lo := int64(iv) * ilen
-				hi := min64(lo+ilen, heavySlotEnd)
-				w := lo
-				for i := lo; i < hi; i++ {
-					if occ[i] != 0 {
-						slots[w] = slots[i]
-						w++
-					}
-				}
-				counts[iv] = int32(w - lo)
-			})
-			total := prim.ExclusiveScan(1, counts)
-			heavyTotal = int(total)
-			parallel.ForEach(procs, intervals, 1, func(iv int) {
-				lo := int64(iv) * ilen
-				cnt := int32(0)
-				if iv+1 < intervals {
-					cnt = counts[iv+1] - counts[iv]
-				} else {
-					cnt = total - counts[iv]
-				}
-				if cnt == 0 {
-					// Intervals past heavySlotEnd are empty, and their lo may
-					// exceed the slot array; indexing would panic.
-					return
-				}
-				copy(out[counts[iv]:int(counts[iv])+int(cnt)], slots[lo:lo+int64(cnt)])
-			})
-		}
-
-		// Light region: per-bucket counts are known; prefix sum for
-		// offsets, then parallel copy.
-		lightOffsets := make([]int32, numLightMerged)
-		copy(lightOffsets, lightCnt)
-		lightTotal = prim.ExclusiveScan(1, lightOffsets)
-		parallel.ForEach(procs, numLightMerged, 1, func(j int) {
-			bk := buckets[firstLight+j]
-			dst := heavyTotal + int(lightOffsets[j])
-			copy(out[dst:dst+int(lightCnt[j])], slots[bk.off:bk.off+int64(lightCnt[j])])
-		})
-	})
-	stats.Phases.Pack = time.Since(t0)
-	tr.span(attempt, obsv.PhasePack, t0, obsv.OutcomeOK)
-
-	if heavyTotal+int(lightTotal) != n {
-		return nil, stats, fmt.Errorf("semisort internal error: packed %d of %d records", heavyTotal+int(lightTotal), n)
-	}
-	return out, stats, nil
-}
-
-// localSortSeg groups one light bucket's records in place with the
-// configured local-sort algorithm (Phase 4); both scatter strategies
-// share it.
-func localSortSeg(kind LocalSortKind, seg []rec.Record) {
-	switch kind {
-	case LocalSortCounting:
-		countingSemisort(seg)
-	case LocalSortBucket:
-		bucketLocalSort(seg)
-	default:
-		sortcmp.Introsort(seg)
-	}
-}
-
-// countingSemisort groups equal keys in seg using the naming problem (a
-// small hash table assigning dense labels in first-appearance order)
-// followed by two stable counting-sort passes over the label digits — the
-// Rajasekaran–Reif style local semisort from Step 7c of Algorithm 1.
-func countingSemisort(seg []rec.Record) {
-	n := len(seg)
-	if n <= 1 {
-		return
-	}
-	// Naming: dense labels in [0, m).
-	labels := make([]int32, n)
-	tbl := make(map[uint64]int32, 16)
-	for i, r := range seg {
-		l, ok := tbl[r.Key]
-		if !ok {
-			l = int32(len(tbl))
-			tbl[r.Key] = l
-		}
-		labels[i] = l
-	}
-	m := len(tbl)
-	if m == 1 {
-		return
-	}
-	// Two passes of stable counting sort on base-⌈sqrt(m)⌉ digits.
-	base := int(math.Ceil(math.Sqrt(float64(m))))
-	scratch := make([]rec.Record, n)
-	labScratch := make([]int32, n)
-	countingPass(seg, scratch, labels, labScratch, base, func(l int32) int { return int(l) % base })
-	countingPass(seg, scratch, labels, labScratch, (m+base-1)/base+1, func(l int32) int { return int(l) / base })
-}
-
-// countingPass stably sorts seg (and its labels, kept in lockstep) by
-// digit(label) in [0, m).
-func countingPass(seg, scratch []rec.Record, labels, labScratch []int32, m int, digit func(int32) int) {
-	counts := make([]int32, m+1)
-	for _, l := range labels {
-		counts[digit(l)+1]++
-	}
-	for b := 0; b < m; b++ {
-		counts[b+1] += counts[b]
-	}
-	for i, r := range seg {
-		d := digit(labels[i])
-		scratch[counts[d]] = r
-		labScratch[counts[d]] = labels[i]
-		counts[d]++
-	}
-	copy(seg, scratch)
-	copy(labels, labScratch)
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// boostSize applies a per-bucket retry multiplier to a size estimate,
-// preserving the power-of-two invariant unless exact sizing is on.
-func boostSize(size int, m float64, exact bool) int {
-	s := int(math.Ceil(float64(size) * m))
-	if s < size {
-		s = size
-	}
-	if exact {
-		return s
-	}
-	return 1 << uint(bits.Len(uint(s-1)))
-}
-
-// bucketPos maps a random word to a slot index in [0, size). Power-of-two
-// sizes use masking (the paper's choice); exact sizes use the multiply-
-// shift reduction.
-func bucketPos(r, size uint64, exact bool) uint64 {
-	if !exact {
-		return r & (size - 1)
-	}
-	hi, _ := bits.Mul64(r, size)
-	return hi
-}
-
-// bucketLocalSort sorts seg by key with a classic bucket sort: since the
-// keys within a light bucket are hash values falling in one hash range,
-// they are near-uniform, so distributing them over ~len(seg) sub-buckets
-// by linear interpolation leaves O(1) expected records per sub-bucket,
-// finished with insertion sort. One of the Phase 4 alternatives from the
-// paper's implementation section.
-func bucketLocalSort(seg []rec.Record) {
-	n := len(seg)
-	if n <= 32 {
-		sortcmp.Introsort(seg)
-		return
-	}
-	lo, hi := seg[0].Key, seg[0].Key
-	for _, r := range seg[1:] {
-		if r.Key < lo {
-			lo = r.Key
-		}
-		if r.Key > hi {
-			hi = r.Key
-		}
-	}
-	if lo == hi {
-		return // all keys equal
-	}
-	m := 1 << uint(bits.Len(uint(n-1))) // sub-buckets ≈ n, power of two
-	span := hi - lo
-	// Monotone near-uniform map of [lo, hi] onto [0, m): drop the bits of
-	// (k - lo) below the top log2(m) bits of the span.
-	sh := uint(0)
-	if sb, mb := bits.Len64(span), bits.Len(uint(m-1)); sb > mb {
-		sh = uint(sb - mb)
-	}
-	idx := func(k uint64) int {
-		b := int((k - lo) >> sh)
-		if b >= m {
-			b = m - 1
-		}
-		return b
-	}
-	counts := make([]int32, m+1)
-	for _, r := range seg {
-		counts[idx(r.Key)+1]++
-	}
-	for b := 0; b < m; b++ {
-		counts[b+1] += counts[b]
-	}
-	scratch := make([]rec.Record, n)
-	offs := make([]int32, m)
-	copy(offs, counts[:m])
-	for _, r := range seg {
-		b := idx(r.Key)
-		scratch[offs[b]] = r
-		offs[b]++
-	}
-	copy(seg, scratch)
-	for b := 0; b < m; b++ {
-		sub := seg[counts[b]:counts[b+1]]
-		if len(sub) > 1 {
-			sortcmp.Introsort(sub)
-		}
-	}
 }

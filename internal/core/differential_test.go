@@ -132,3 +132,43 @@ func TestCountingDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkspaceReuseByteIdentical: reusing a warm Workspace must not
+// change the output — every call with the same input, seed and strategy
+// is byte-identical to a fresh-workspace run. Covered where the strategy
+// itself is deterministic: the counting scatter at any worker count, the
+// probing scatter at one worker (its CAS placement is interleaving-
+// dependent beyond that).
+func TestWorkspaceReuseByteIdentical(t *testing.T) {
+	cases := []struct {
+		strat ScatterStrategy
+		procs int
+	}{
+		{ScatterCounting, 1},
+		{ScatterCounting, 2},
+		{ScatterCounting, 8},
+		{ScatterProbing, 1},
+	}
+	for _, d := range diffMatrix(20000, 205) {
+		for _, tc := range cases {
+			cfg := &Config{Procs: tc.procs, Seed: 17, ScatterStrategy: tc.strat}
+			ref, _, err := Semisort(d.data, cfg)
+			if err != nil {
+				t.Fatalf("%s %v procs=%d: %v", d.name, tc.strat, tc.procs, err)
+			}
+			ws := &Workspace{}
+			for call := 0; call < 3; call++ {
+				out, _, err := SemisortWS(ws, d.data, cfg)
+				if err != nil {
+					t.Fatalf("%s %v procs=%d call %d: %v", d.name, tc.strat, tc.procs, call, err)
+				}
+				for i := range out {
+					if out[i] != ref[i] {
+						t.Fatalf("%s %v procs=%d call %d: reused workspace diverges at %d: %v vs %v",
+							d.name, tc.strat, tc.procs, call, i, out[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}

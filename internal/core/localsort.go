@@ -1,0 +1,162 @@
+// Phase 4 — local sort (paper Section 4, Phase 4): semisort each light
+// bucket locally. The phase orchestrator delegates the traversal to the
+// scatter stage (the probing stage compacts slot ranges first; the
+// counting stage works in place in the output); the per-segment kernels
+// here are shared by both.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/rec"
+	"repro/internal/sortcmp"
+)
+
+// localSortPhase runs Phase 4 through the stage.
+func (pl *plan) localSortPhase(st scatterStage) error {
+	if err := phaseGate(pl.ctx, "local sort"); err != nil {
+		return err
+	}
+	pl.tr.phaseStart(pl.attempt, obsv.PhaseLocalSort)
+	t0 := time.Now()
+	if err := st.localSort(pl); err != nil {
+		pl.tr.span(pl.attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeCanceled)
+		return fmt.Errorf("semisort: canceled at local sort: %w", err)
+	}
+	pl.stats.Phases.LocalSort = time.Since(t0)
+	pl.tr.span(pl.attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeOK)
+	return nil
+}
+
+// localSortSeg groups one light bucket's records in place with the
+// configured local-sort algorithm (Phase 4); both scatter strategies
+// share it.
+func localSortSeg(kind LocalSortKind, seg []rec.Record) {
+	switch kind {
+	case LocalSortCounting:
+		countingSemisort(seg)
+	case LocalSortBucket:
+		bucketLocalSort(seg)
+	default:
+		sortcmp.Introsort(seg)
+	}
+}
+
+// countingSemisort groups equal keys in seg using the naming problem (a
+// small hash table assigning dense labels in first-appearance order)
+// followed by two stable counting-sort passes over the label digits — the
+// Rajasekaran–Reif style local semisort from Step 7c of Algorithm 1.
+func countingSemisort(seg []rec.Record) {
+	n := len(seg)
+	if n <= 1 {
+		return
+	}
+	// Naming: dense labels in [0, m).
+	labels := make([]int32, n)
+	tbl := make(map[uint64]int32, 16)
+	for i, r := range seg {
+		l, ok := tbl[r.Key]
+		if !ok {
+			l = int32(len(tbl))
+			tbl[r.Key] = l
+		}
+		labels[i] = l
+	}
+	m := len(tbl)
+	if m == 1 {
+		return
+	}
+	// Two passes of stable counting sort on base-⌈sqrt(m)⌉ digits.
+	base := int(math.Ceil(math.Sqrt(float64(m))))
+	scratch := make([]rec.Record, n)
+	labScratch := make([]int32, n)
+	countingPass(seg, scratch, labels, labScratch, base, func(l int32) int { return int(l) % base })
+	countingPass(seg, scratch, labels, labScratch, (m+base-1)/base+1, func(l int32) int { return int(l) / base })
+}
+
+// countingPass stably sorts seg (and its labels, kept in lockstep) by
+// digit(label) in [0, m).
+func countingPass(seg, scratch []rec.Record, labels, labScratch []int32, m int, digit func(int32) int) {
+	counts := make([]int32, m+1)
+	for _, l := range labels {
+		counts[digit(l)+1]++
+	}
+	for b := 0; b < m; b++ {
+		counts[b+1] += counts[b]
+	}
+	for i, r := range seg {
+		d := digit(labels[i])
+		scratch[counts[d]] = r
+		labScratch[counts[d]] = labels[i]
+		counts[d]++
+	}
+	copy(seg, scratch)
+	copy(labels, labScratch)
+}
+
+// bucketLocalSort sorts seg by key with a classic bucket sort: since the
+// keys within a light bucket are hash values falling in one hash range,
+// they are near-uniform, so distributing them over ~len(seg) sub-buckets
+// by linear interpolation leaves O(1) expected records per sub-bucket,
+// finished with insertion sort. One of the Phase 4 alternatives from the
+// paper's implementation section.
+func bucketLocalSort(seg []rec.Record) {
+	n := len(seg)
+	if n <= 32 {
+		sortcmp.Introsort(seg)
+		return
+	}
+	lo, hi := seg[0].Key, seg[0].Key
+	for _, r := range seg[1:] {
+		if r.Key < lo {
+			lo = r.Key
+		}
+		if r.Key > hi {
+			hi = r.Key
+		}
+	}
+	if lo == hi {
+		return // all keys equal
+	}
+	m := 1 << uint(bits.Len(uint(n-1))) // sub-buckets ≈ n, power of two
+	span := hi - lo
+	// Monotone near-uniform map of [lo, hi] onto [0, m): drop the bits of
+	// (k - lo) below the top log2(m) bits of the span.
+	sh := uint(0)
+	if sb, mb := bits.Len64(span), bits.Len(uint(m-1)); sb > mb {
+		sh = uint(sb - mb)
+	}
+	idx := func(k uint64) int {
+		b := int((k - lo) >> sh)
+		if b >= m {
+			b = m - 1
+		}
+		return b
+	}
+	counts := make([]int32, m+1)
+	for _, r := range seg {
+		counts[idx(r.Key)+1]++
+	}
+	for b := 0; b < m; b++ {
+		counts[b+1] += counts[b]
+	}
+	scratch := make([]rec.Record, n)
+	offs := make([]int32, m)
+	copy(offs, counts[:m])
+	for _, r := range seg {
+		b := idx(r.Key)
+		scratch[offs[b]] = r
+		offs[b]++
+	}
+	copy(seg, scratch)
+	for b := 0; b < m; b++ {
+		sub := seg[counts[b]:counts[b+1]]
+		if len(sub) > 1 {
+			sortcmp.Introsort(sub)
+		}
+	}
+}

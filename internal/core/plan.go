@@ -1,0 +1,359 @@
+// The plan is the heart of the pipeline refactor: one struct carrying an
+// attempt's resolved parameters and buffer views through the six phase
+// stages (sample.go, classify.go, buckets.go, scatter_probing.go /
+// scatter_counting.go, pack.go). It lives inside the Workspace so the
+// steady state allocates neither the plan nor its buffers, and every
+// phase body is a method on it, so parallel-for bodies can be passed as
+// method expressions (compile-time constants) instead of closures — the
+// difference between ~0 and ~10 allocations per call at Procs == 1.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hash"
+	"repro/internal/hashtable"
+	"repro/internal/obsv"
+	"repro/internal/parallel"
+	"repro/internal/rec"
+)
+
+// A scatterStage is one Phase 3 placement algorithm together with the
+// Phase 4/5 behavior it implies. The probing stage scatters into slot
+// arrays with CAS (then compacts and packs); the counting stage writes
+// final packed positions directly (local sort in place, pack a no-op).
+// Both implementations are zero-size types, so storing them in the
+// interface does not allocate.
+type scatterStage interface {
+	strategy() ScatterStrategy
+	// scatter places every record into its bucket (Phase 3). An
+	// *overflowError return triggers the Las Vegas retry ladder; any
+	// other error aborts the attempt (cancellation).
+	scatter(pl *plan) error
+	// localSort semisorts each light bucket (Phase 4).
+	localSort(pl *plan) error
+	// pack compacts the placed records into pl.out (Phase 5) and checks
+	// the placement invariant.
+	pack(pl *plan) error
+}
+
+// stageFor maps a resolved strategy to its stage implementation.
+func stageFor(s ScatterStrategy) scatterStage {
+	if s == ScatterCounting {
+		return countingStage{}
+	}
+	return probingStage{}
+}
+
+// A plan is the mutable state of one Las Vegas attempt: the resolved
+// configuration, the attempt's randomness, every phase's products (as
+// views into Workspace-owned buffers), and the attempt's Stats. begin()
+// resets it wholesale between attempts; nothing carries over except the
+// workspace the views point into.
+type plan struct {
+	// Call parameters.
+	cfg   Config
+	ws    *Workspace
+	tr    tracer // by value: a pointer to a stack local would force it to the heap
+	a     []rec.Record
+	dst   []rec.Record // caller-provided output buffer; nil means allocate
+	n     int
+	procs int
+	// ctx mirrors cfg.Context (hot-path convenience).
+	ctx        context.Context
+	attempt    int // scatter attempt index (doubles as the span index)
+	logn       float64
+	rng        hash.RNG // sampling randomness: stable across boosted retries
+	scatterRNG hash.RNG // placement randomness: fresh every attempt
+	boost      map[int32]float64
+
+	stats Stats
+
+	// Phase 1 products.
+	ns     int
+	sample []uint64
+
+	// Phase 2 products.
+	bucketsT0 time.Time // classify+allocate share the Buckets phase clock
+	numLight  int
+	shift     uint
+	// Run-start extraction (the in-workspace PackIndex).
+	runStarts []int32
+	runCounts []int32
+	rsGrain   int
+	numRuns   int
+	// Classification.
+	runGrain     int
+	runBlocks    int
+	blockHeavy   []int32
+	heavyRuns    []heavyRun
+	numHeavy     int
+	lightCounts  []int32
+	heavySamples atomic.Int64
+	// Bucket construction.
+	strat          ScatterStrategy
+	buckets        []bucket
+	table          *hashtable.Table
+	emptyKeyBucket int64
+	lightBucketOf  []int32
+	firstLight     int
+	numLightMerged int
+	heavySlotEnd   int64
+	slotTotal      int64
+
+	// Phase 3 state.
+	out   []rec.Record
+	slots []rec.Record
+	occ   []uint32
+	// Probing scatter.
+	overflow    atomic.Bool
+	heavyPlaced atomic.Int64
+	maxCluster  atomic.Int64
+	ofMu        sync.Mutex
+	ofBuckets   map[int32]int32
+	// Counting scatter.
+	cplan       countingPlan
+	hist        []int32
+	counts      []int32
+	cbase       []int32
+	flushes     atomic.Int64
+	placedTotal int
+
+	// Phase 4–5 state (probing path).
+	lightCnt     []int32
+	lightOffsets []int32
+	packCounts   []int32
+	intervals    int
+	ilen         int64
+	packTotal    int32
+	heavyTotal   int
+	lightTotal   int32
+}
+
+// begin resets the plan for one attempt. Every field is (re)assigned so
+// no state can leak from a previous attempt or call.
+func (pl *plan) begin(ws *Workspace, a, dst []rec.Record, c *Config, sampleAttempt, attempt int, boost map[int32]float64, tr *tracer) {
+	pl.cfg = *c
+	pl.ws = ws
+	pl.tr = *tr
+	pl.a = a
+	pl.dst = dst
+	pl.n = len(a)
+	pl.procs = c.Procs
+	pl.ctx = c.Context
+	pl.attempt = attempt
+	pl.logn = math.Log(math.Max(float64(pl.n), 2))
+	pl.rng = hash.NewRNG(c.Seed + uint64(sampleAttempt)*0x9e3779b97f4a7c15 + 1)
+	pl.scatterRNG = hash.NewRNG(c.Seed ^ (uint64(attempt)+1)*0xd1342543de82ef95)
+	pl.boost = boost
+	pl.stats = Stats{N: pl.n}
+
+	pl.ns = 0
+	pl.sample = nil
+	pl.bucketsT0 = time.Time{}
+	pl.numLight, pl.shift = 0, 0
+	pl.runStarts, pl.runCounts, pl.rsGrain, pl.numRuns = nil, nil, 0, 0
+	pl.runGrain, pl.runBlocks = 0, 0
+	pl.blockHeavy, pl.heavyRuns, pl.numHeavy = nil, nil, 0
+	pl.lightCounts = nil
+	pl.heavySamples.Store(0)
+	pl.strat = ScatterAuto
+	pl.buckets, pl.table = nil, nil
+	pl.emptyKeyBucket = -1
+	pl.lightBucketOf = nil
+	pl.firstLight, pl.numLightMerged = 0, 0
+	pl.heavySlotEnd, pl.slotTotal = 0, 0
+
+	pl.out, pl.slots, pl.occ = nil, nil, nil
+	pl.overflow.Store(false)
+	pl.heavyPlaced.Store(0)
+	pl.maxCluster.Store(0)
+	pl.ofBuckets = nil
+	pl.cplan = countingPlan{}
+	pl.hist, pl.counts, pl.cbase = nil, nil, nil
+	pl.flushes.Store(0)
+	pl.placedTotal = 0
+
+	pl.lightCnt, pl.lightOffsets, pl.packCounts = nil, nil, nil
+	pl.intervals, pl.ilen, pl.packTotal = 0, 0, 0
+	pl.heavyTotal, pl.lightTotal = 0, 0
+}
+
+// clearRefs drops every reference the plan holds (input, output, buffer
+// views, config with its Observer/Context) so a retained Workspace never
+// pins caller memory between calls. Scalar fields are left as-is; begin()
+// reassigns them.
+func (pl *plan) clearRefs() {
+	pl.cfg = Config{}
+	pl.ws = nil
+	pl.tr = tracer{}
+	pl.a, pl.dst, pl.out = nil, nil, nil
+	pl.ctx = nil
+	pl.boost = nil
+	pl.sample = nil
+	pl.runStarts, pl.runCounts = nil, nil
+	pl.blockHeavy, pl.heavyRuns, pl.lightCounts = nil, nil, nil
+	pl.buckets, pl.table, pl.lightBucketOf = nil, nil, nil
+	pl.slots, pl.occ = nil, nil
+	pl.ofBuckets = nil
+	pl.hist, pl.counts, pl.cbase = nil, nil, nil
+	pl.lightCnt, pl.lightOffsets, pl.packCounts = nil, nil, nil
+	pl.stats = Stats{}
+}
+
+// semisortOnce runs one Las Vegas attempt through the six pipeline
+// stages. The attempt's Stats accumulate in pl.stats; the output is
+// pl.out on success.
+func semisortOnce(pl *plan) ([]rec.Record, error) {
+	if pl.n == 0 {
+		return []rec.Record{}, nil
+	}
+	if err := pl.samplePhase(); err != nil {
+		return nil, err
+	}
+	if err := pl.classifyPhase(); err != nil {
+		return nil, err
+	}
+	if err := pl.allocatePhase(); err != nil {
+		return nil, err
+	}
+	st := stageFor(pl.strat)
+	if err := pl.scatterPhase(st); err != nil {
+		return nil, err
+	}
+	if err := pl.localSortPhase(st); err != nil {
+		return nil, err
+	}
+	if err := pl.packPhase(st); err != nil {
+		return nil, err
+	}
+	return pl.out, nil
+}
+
+// scatterPhase runs Phase 3 through the stage. Overflow (probing only)
+// surfaces as an *overflowError for the Las Vegas ladder; any other error
+// is a cancellation.
+func (pl *plan) scatterPhase(st scatterStage) error {
+	if err := phaseGate(pl.ctx, "scatter"); err != nil {
+		return err
+	}
+	pl.tr.phaseStart(pl.attempt, obsv.PhaseScatter)
+	t0 := time.Now()
+	err := st.scatter(pl)
+	if err == nil {
+		pl.stats.Phases.Scatter = time.Since(t0)
+		pl.tr.scatterSpan(pl.attempt, t0, obsv.OutcomeOK, pl.strat, pl.stats.ScatterFlushes)
+		return nil
+	}
+	if errors.Is(err, ErrOverflow) {
+		pl.stats.Phases.Scatter = time.Since(t0)
+		pl.tr.scatterSpan(pl.attempt, t0, obsv.OutcomeOverflow, pl.strat, 0)
+		return err
+	}
+	pl.tr.scatterSpan(pl.attempt, t0, obsv.OutcomeCanceled, pl.strat, 0)
+	return fmt.Errorf("semisort: canceled at scatter: %w", err)
+}
+
+// parFor runs f over [0, n) with cooperative cancellation, dispatching
+// the single-worker uncancellable case through parallel.SerialFor so a
+// method-expression f costs no allocation (ForCtx's body would escape
+// into its worker goroutines).
+func (pl *plan) parFor(n, grain int, f func(*plan, int, int)) error {
+	if pl.ctx == nil && pl.procs == 1 {
+		parallel.SerialFor(n, func(lo, hi int) { f(pl, lo, hi) })
+		return nil
+	}
+	return parallel.ForCtx(pl.ctx, pl.procs, n, grain, func(lo, hi int) { f(pl, lo, hi) })
+}
+
+// parForEach is parFor with a per-index body.
+func (pl *plan) parForEach(n, grain int, f func(*plan, int)) error {
+	if pl.ctx == nil && pl.procs == 1 {
+		parallel.SerialFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				f(pl, i)
+			}
+		})
+		return nil
+	}
+	return parallel.ForEachCtx(pl.ctx, pl.procs, n, grain, func(i int) { f(pl, i) })
+}
+
+// parForNoCtx runs f over [0, n) without cancellation, for phases that
+// only check the surrounding gates (classification, cursor conversion,
+// packing — matching the monolithic pipeline's parallel.For call sites).
+func (pl *plan) parForNoCtx(n, grain int, f func(*plan, int, int)) {
+	if pl.procs == 1 {
+		parallel.SerialFor(n, func(lo, hi int) { f(pl, lo, hi) })
+		return
+	}
+	parallel.For(pl.procs, n, grain, func(lo, hi int) { f(pl, lo, hi) })
+}
+
+// parForEachNoCtx is parForNoCtx with a per-index body.
+func (pl *plan) parForEachNoCtx(n, grain int, f func(*plan, int)) {
+	if pl.procs == 1 {
+		parallel.SerialFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				f(pl, i)
+			}
+		})
+		return
+	}
+	parallel.ForEach(pl.procs, n, grain, func(i int) { f(pl, i) })
+}
+
+// bucketOf resolves a record to its bucket id and whether it took the
+// heavy path. Hot: called once (counting: twice) per record in Phase 3.
+func (pl *plan) bucketOf(r rec.Record) (int64, bool) {
+	if r.Key == hashtable.Empty {
+		if pl.emptyKeyBucket >= 0 {
+			// The table's reserved key gets a dedicated heavy bucket.
+			return pl.emptyKeyBucket, true
+		}
+		return int64(pl.lightBucketOf[r.Key>>pl.shift]), false
+	}
+	if v, ok := pl.table.Lookup(r.Key); ok {
+		return int64(v), true
+	}
+	// lightBucketOf stores absolute bucket indices.
+	return int64(pl.lightBucketOf[r.Key>>pl.shift]), false
+}
+
+// ensureOut binds pl.out for the attempt: the caller-provided destination
+// when it is large enough and does not alias the input (Shared callers
+// could otherwise feed a workspace's previous output back in as input and
+// have the scatter overwrite what it is reading), a fresh allocation
+// otherwise.
+func (pl *plan) ensureOut() []rec.Record {
+	if dst := pl.dst; cap(dst) >= pl.n && !sliceOverlaps(dst, pl.a) {
+		pl.out = dst[:pl.n]
+	} else {
+		pl.out = make([]rec.Record, pl.n)
+	}
+	return pl.out
+}
+
+// sliceOverlaps reports whether two slices share the final element of
+// their backing arrays — the practical aliasing case (two views of one
+// allocation). Partial overlap of distinct allocations cannot happen in
+// Go without unsafe.
+func sliceOverlaps(x, y []rec.Record) bool {
+	if cap(x) == 0 || cap(y) == 0 {
+		return false
+	}
+	return &(x[:cap(x)])[cap(x)-1] == &(y[:cap(y)])[cap(y)-1]
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

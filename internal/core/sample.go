@@ -1,0 +1,52 @@
+// Phase 1 — sampling and sorting (paper Section 4, Phase 1): pick one
+// key from every SampleRate-record block (stratified sampling with
+// probability p = 1/SampleRate) and sort the sample with the parallel
+// radix sort.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/sortint"
+)
+
+// samplePhase draws the stratified sample into the workspace and sorts it.
+func (pl *plan) samplePhase() error {
+	if err := phaseGate(pl.ctx, "sampling"); err != nil {
+		return err
+	}
+	pl.tr.phaseStart(pl.attempt, obsv.PhaseSample)
+	t0 := time.Now()
+	pl.ns = pl.n / pl.cfg.SampleRate
+	pl.sample, _ = pl.ws.getSample(pl.ns)
+	if err := pl.tr.labeledPhase(pl, "sample", (*plan).sampleBody); err != nil {
+		pl.tr.span(pl.attempt, obsv.PhaseSample, t0, obsv.OutcomeCanceled)
+		return fmt.Errorf("semisort: canceled at sampling: %w", err)
+	}
+	pl.stats.SampleSize = pl.ns
+	pl.stats.Phases.SampleSort = time.Since(t0)
+	pl.tr.span(pl.attempt, obsv.PhaseSample, t0, obsv.OutcomeOK)
+	return nil
+}
+
+func (pl *plan) sampleBody() error {
+	if err := pl.parFor(pl.ns, 4096, (*plan).sampleChunk); err != nil {
+		return err
+	}
+	if pl.ns > 0 {
+		sortint.SortUint64With(pl.procs, pl.sample, pl.ws.sampleScratch[:pl.ns])
+	}
+	return nil
+}
+
+// sampleChunk draws one key per SampleRate-record block: a fixed-seed
+// choice within the block, so boosted retries resample identically.
+func (pl *plan) sampleChunk(lo, hi int) {
+	rate := pl.cfg.SampleRate
+	for i := lo; i < hi; i++ {
+		j := i*rate + int(pl.rng.RandBounded(uint64(i), uint64(rate)))
+		pl.sample[i] = pl.a[j].Key
+	}
+}

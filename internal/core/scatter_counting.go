@@ -1,0 +1,232 @@
+// Phase 3, counting placement: the deterministic two-pass alternative to
+// the CAS scatter (ScatterCounting, and the Auto pick under heavy
+// duplication).
+//
+// Pass 1 splits the input into blocks and builds one bucket histogram per
+// block. Column-wise prefix sums over the per-block histograms — seeded
+// with an exclusive scan of the per-bucket totals — turn each histogram
+// row into a set of absolute write cursors, so pass 2 can copy every
+// record straight to its final position in the packed output array. The
+// offsets are exact: no CAS, no probing, no overflow, and therefore no
+// Las Vegas retry on this path. Phases 4 and 5 still run so traces keep
+// the six-phase shape — the local sort works in place in the output, and
+// packing is a no-op invariant check: the scatter already packed.
+//
+// The output is deterministic regardless of block boundaries or worker
+// count: bucket b's records appear in global input order because block i's
+// cursor for b starts exactly where blocks 0..i-1 left off. Buckets own
+// disjoint output ranges and blocks own disjoint cursor rows, so pass 2
+// needs no atomics at all.
+//
+// When the bucket count is small relative to the block size, pass 2
+// routes records through small per-worker staging buffers
+// (countingStageSlots records — one cache line — per bucket) and flushes
+// full lines with a single copy, converting scattered single-record
+// stores into sequential line-sized writes (the software write-combining
+// trick from the integer-sort literature). With many buckets the staging
+// arrays would thrash the cache themselves, so the plan falls back to
+// direct stores. The staging buffers live in the Workspace (a flat arena
+// handed out through a buffered-channel free-list), so a warm workspace
+// stages without allocating.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+)
+
+const (
+	// countingGrainMin is the minimum records per pass-1/pass-2 block;
+	// below this the per-block histogram dominates the work.
+	countingGrainMin = 4096
+	// countingStageSlots is the records buffered per bucket before a
+	// staged flush — 4 × 16-byte records = one 64-byte cache line.
+	countingStageSlots = 4
+)
+
+// A countingPlan fixes the blocking of both counting-scatter passes and
+// prices the scratch memory the attempt will need, so the allocate phase
+// can enforce Config.MaxSlotBytes before anything is allocated.
+type countingPlan struct {
+	grain, nblocks int
+	// staged reports whether pass 2 will write through per-worker staging
+	// buffers; with more buckets than records per block the buffers would
+	// outweigh the writes they batch.
+	staged bool
+	// scratchBytes prices the per-block histograms plus (when staged) the
+	// per-worker staging buffers.
+	scratchBytes int64
+}
+
+func planCounting(n, procs, nb int) countingPlan {
+	grain := parallel.Grain(n, procs, countingGrainMin)
+	nblocks := 0
+	if n > 0 {
+		nblocks = (n + grain - 1) / grain
+	}
+	staged := nb <= grain
+	scratch := int64(nblocks) * int64(nb) * 4
+	if staged {
+		// Each in-flight stage holds nb*countingStageSlots records plus
+		// one fill counter per bucket; at most procs are in flight.
+		scratch += int64(procs) * int64(nb) * (countingStageSlots*16 + 1)
+	}
+	return countingPlan{grain: grain, nblocks: nblocks, staged: staged, scratchBytes: scratch}
+}
+
+// countingStage is the deterministic placement's scatterStage.
+type countingStage struct{}
+
+func (countingStage) strategy() ScatterStrategy { return ScatterCounting }
+
+func (countingStage) scatter(pl *plan) error {
+	pl.ensureOut()
+	if err := pl.tr.labeledPhase(pl, "scatter", (*plan).countingScatterBody); err != nil {
+		return err
+	}
+	pl.stats.HeavyRecords = int(pl.cbase[pl.firstLight])
+	pl.stats.ScatterFlushes = pl.flushes.Load()
+	return nil
+}
+
+// countingScatterBody runs both passes and the cursor conversion between
+// them. bucketOf must be pure and return ids in [0, len(buckets)).
+func (pl *plan) countingScatterBody() error {
+	nb := len(pl.buckets)
+	pl.hist = pl.ws.getHist(pl.cplan.nblocks * nb)
+
+	// Pass 1: one bucket histogram per block.
+	if err := pl.parFor(pl.cplan.nblocks, 1, (*plan).countingHistChunk); err != nil {
+		return err
+	}
+
+	// Per-bucket totals (column sums), bucket base offsets (their
+	// exclusive scan), then column-wise conversion of each block's
+	// histogram entry into an absolute write cursor.
+	pl.counts = grow(&pl.ws.counts, nb)
+	pl.cbase = grow(&pl.ws.cbase, nb)
+	pl.parForNoCtx(nb, 512, (*plan).countingTotalsChunk)
+	copy(pl.cbase, pl.counts)
+	pl.placedTotal = int(prim.ExclusiveScan(1, pl.cbase))
+	pl.parForNoCtx(nb, 512, (*plan).countingCursorChunk)
+
+	// Pass 2: copy records to their final positions, optionally through
+	// line-sized staging buffers.
+	if pl.cplan.staged {
+		pl.ws.ensureStages(pl.procs, nb)
+	}
+	return pl.parFor(pl.cplan.nblocks, 1, (*plan).countingPassChunk)
+}
+
+func (pl *plan) countingHistChunk(blo, bhi int) {
+	nb := len(pl.buckets)
+	for blk := blo; blk < bhi; blk++ {
+		h := pl.hist[blk*nb : (blk+1)*nb]
+		lo, hi := blk*pl.cplan.grain, min((blk+1)*pl.cplan.grain, pl.n)
+		for i := lo; i < hi; i++ {
+			bid, _ := pl.bucketOf(pl.a[i])
+			h[bid]++
+		}
+	}
+}
+
+func (pl *plan) countingTotalsChunk(lo, hi int) {
+	nb := len(pl.buckets)
+	for b := lo; b < hi; b++ {
+		var s int32
+		for blk := 0; blk < pl.cplan.nblocks; blk++ {
+			s += pl.hist[blk*nb+b]
+		}
+		pl.counts[b] = s
+	}
+}
+
+func (pl *plan) countingCursorChunk(lo, hi int) {
+	nb := len(pl.buckets)
+	for b := lo; b < hi; b++ {
+		run := pl.cbase[b]
+		for blk := 0; blk < pl.cplan.nblocks; blk++ {
+			c := pl.hist[blk*nb+b]
+			pl.hist[blk*nb+b] = run
+			run += c
+		}
+	}
+}
+
+func (pl *plan) countingPassChunk(blo, bhi int) {
+	nb := len(pl.buckets)
+	var nf int64
+	for blk := blo; blk < bhi; blk++ {
+		offs := pl.hist[blk*nb : (blk+1)*nb]
+		lo, hi := blk*pl.cplan.grain, min((blk+1)*pl.cplan.grain, pl.n)
+		if !pl.cplan.staged || fault.Should(fault.StageFlush) {
+			for i := lo; i < hi; i++ {
+				bid, _ := pl.bucketOf(pl.a[i])
+				pl.out[offs[bid]] = pl.a[i]
+				offs[bid]++
+			}
+			continue
+		}
+		slot := pl.ws.acquireStage()
+		buf := pl.ws.stageBuf[slot*nb*countingStageSlots : (slot+1)*nb*countingStageSlots]
+		cnt := pl.ws.stageCnt[slot*nb : (slot+1)*nb]
+		for i := lo; i < hi; i++ {
+			r := pl.a[i]
+			bid, _ := pl.bucketOf(r)
+			c := cnt[bid]
+			buf[int(bid)*countingStageSlots+int(c)] = r
+			c++
+			if int(c) == countingStageSlots {
+				p := offs[bid]
+				copy(pl.out[p:p+countingStageSlots],
+					buf[int(bid)*countingStageSlots:(int(bid)+1)*countingStageSlots])
+				offs[bid] = p + countingStageSlots
+				cnt[bid] = 0
+				nf++
+			} else {
+				cnt[bid] = c
+			}
+		}
+		// Drain partial lines, restoring the all-zero cnt invariant.
+		for b := 0; b < nb; b++ {
+			c := cnt[b]
+			if c == 0 {
+				continue
+			}
+			p := offs[b]
+			copy(pl.out[p:p+int32(c)], buf[b*countingStageSlots:b*countingStageSlots+int(c)])
+			offs[b] = p + int32(c)
+			cnt[b] = 0
+		}
+		pl.ws.releaseStage(slot)
+	}
+	pl.flushes.Add(nf)
+}
+
+// localSort semisorts each light bucket in place in the output (Phase 4);
+// the counting scatter already placed every bucket at its final packed
+// offset.
+func (countingStage) localSort(pl *plan) error {
+	return pl.tr.labeledPhase(pl, "localsort", (*plan).countingLocalSortBody)
+}
+
+func (pl *plan) countingLocalSortBody() error {
+	return pl.parForEach(pl.numLightMerged, 1, (*plan).countingLocalSortOne)
+}
+
+func (pl *plan) countingLocalSortOne(j int) {
+	b := pl.firstLight + j
+	lo := int(pl.cbase[b])
+	localSortSeg(pl.cfg.LocalSort, pl.out[lo:lo+int(pl.counts[b])])
+}
+
+// pack is a no-op invariant check: the scatter already packed.
+func (countingStage) pack(pl *plan) error {
+	if pl.placedTotal != pl.n {
+		return fmt.Errorf("semisort internal error: counting scatter placed %d of %d records", pl.placedTotal, pl.n)
+	}
+	return nil
+}

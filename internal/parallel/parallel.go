@@ -94,15 +94,16 @@ func ForCtx(ctx context.Context, procs, n, grain int, body func(lo, hi int)) err
 		grain = Grain(n, procs, 1)
 	}
 	if ctx == nil && (procs == 1 || n <= grain) {
-		// Sequential fast path: one chunk, no goroutines, no cursor.
-		var fp firstPanic
-		fp.note(capture(func() {
+		// Sequential fast path: one chunk, no goroutines, no cursor, and
+		// no firstPanic (its address-taken atomic heap-allocates).
+		if pe := capture(func() {
 			if fault.Should(fault.WorkerPanic) {
 				panic(fault.PanicValue)
 			}
 			body(0, n)
-		}))
-		fp.rethrow()
+		}); pe != nil {
+			panic(pe)
+		}
 		return nil
 	}
 	nchunks := (n + grain - 1) / grain
@@ -152,6 +153,31 @@ func ForCtx(ctx context.Context, procs, n, grain int, body func(lo, hi int)) err
 	}
 	fp.rethrow()
 	return ctxErr(ctx)
+}
+
+// SerialFor runs body(0, n) on the calling goroutine with the panic
+// capture and fault injection of For's sequential fast path, but without
+// letting body escape to the heap: closures handed to the goroutine
+// runtimes are heap-allocated because the compiler cannot prove the
+// goroutine outlives the caller, whereas SerialFor's body stays on the
+// stack. Allocation-free call sites (the semisort steady state at
+// procs == 1) depend on this. No cancellation, no goroutines.
+func SerialFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	// capture's result is used directly: a firstPanic here would be
+	// noting a single branch, and its address-taken atomic is moved to
+	// the heap — one allocation per call on a path that exists to be
+	// allocation-free.
+	if pe := capture(func() {
+		if fault.Should(fault.WorkerPanic) {
+			panic(fault.PanicValue)
+		}
+		body(0, n)
+	}); pe != nil {
+		panic(pe)
+	}
 }
 
 // ctxErr is ctx.Err() tolerating a nil context.

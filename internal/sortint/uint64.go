@@ -26,8 +26,61 @@ func SortUint64With(procs int, keys, scratch []uint64) {
 		panic("sortint: scratch buffer too small")
 	}
 	procs = parallel.Procs(procs)
+	if procs == 1 {
+		// Closure-free serial recursion: the generic path builds a body
+		// closure per recursion node (it can escape into the limiter's
+		// deferred-work list), which costs an allocation even when the
+		// limiter is nil. The serial variants inline the bucket loop so a
+		// single-worker sort allocates nothing.
+		u64SortSerial(keys, scratch[:len(keys)], 64-radixBits)
+		return
+	}
 	lim := parallel.NewLimiter(procs)
 	u64SortInPlace(procs, lim, keys, scratch[:len(keys)], 64-radixBits)
+}
+
+// u64SortSerial is u64SortInPlace specialized to one worker with the
+// recursion inlined (no body closures, no limiter).
+func u64SortSerial(a, scratch []uint64, shift int) {
+	n := len(a)
+	if n <= smallCutoff {
+		u64InsertionSort(a)
+		return
+	}
+	if shift < 0 {
+		return
+	}
+	starts := u64RadixPass(1, a, scratch, shift)
+	for b := 0; b < radixBuckets; b++ {
+		lo, hi := starts[b], starts[b+1]
+		switch {
+		case hi-lo == 1:
+			a[lo] = scratch[lo]
+		case hi-lo > 1:
+			u64SortSerialInto(scratch[lo:hi], a[lo:hi], shift-radixBits)
+		}
+	}
+}
+
+// u64SortSerialInto is u64SortInto specialized to one worker.
+func u64SortSerialInto(src, dst []uint64, shift int) {
+	n := len(src)
+	if n <= smallCutoff {
+		copy(dst, src)
+		u64InsertionSort(dst)
+		return
+	}
+	if shift < 0 {
+		copy(dst, src)
+		return
+	}
+	starts := u64RadixPass(1, src, dst, shift)
+	for b := 0; b < radixBuckets; b++ {
+		lo, hi := starts[b], starts[b+1]
+		if hi-lo > 0 {
+			u64SortSerial(dst[lo:hi], src[lo:hi], shift-radixBits)
+		}
+	}
 }
 
 func u64SortInPlace(procs int, lim parallel.Joiner, a, scratch []uint64, shift int) {
@@ -91,13 +144,15 @@ func u64RecurseBuckets(lim parallel.Joiner, starts [radixBuckets + 1]int, body f
 
 func u64RadixPass(procs int, src, dst []uint64, shift int) [radixBuckets + 1]int {
 	n := len(src)
-	byteOf := func(k uint64) int { return int(k>>uint(shift)) & (radixBuckets - 1) }
-
 	var starts [radixBuckets + 1]int
 	if procs == 1 || n < seqCutoff {
+		// No byteOf closure here: sharing one closure with the parallel
+		// branch forces it to the heap (the parallel.For bodies escape), and
+		// this pass runs once per recursion node — serial sorts would pay an
+		// allocation per node for a closure they never needed.
 		var counts [radixBuckets]int
 		for i := 0; i < n; i++ {
-			counts[byteOf(src[i])]++
+			counts[int(src[i]>>uint(shift))&(radixBuckets-1)]++
 		}
 		sum := 0
 		var offs [radixBuckets]int
@@ -108,12 +163,13 @@ func u64RadixPass(procs int, src, dst []uint64, shift int) [radixBuckets + 1]int
 		}
 		starts[radixBuckets] = sum
 		for i := 0; i < n; i++ {
-			b := byteOf(src[i])
+			b := int(src[i]>>uint(shift)) & (radixBuckets - 1)
 			dst[offs[b]] = src[i]
 			offs[b]++
 		}
 		return starts
 	}
+	byteOf := func(k uint64) int { return int(k>>uint(shift)) & (radixBuckets - 1) }
 
 	grain := parallel.Grain(n, procs, 1<<13)
 	nblocks := (n + grain - 1) / grain

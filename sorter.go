@@ -5,9 +5,16 @@ import (
 )
 
 // A Sorter owns the algorithm's scratch buffers (the slot array, occupancy
-// flags and sample buffers — roughly 4–6x the input size) so that repeated
-// semisorts reuse memory instead of reallocating it per call. This mirrors
-// how the paper's C++ implementation amortizes its arrays across runs.
+// flags, sample and histogram buffers — roughly 4–6x the input size) so
+// that repeated semisorts reuse memory instead of reallocating it per
+// call. This mirrors how the paper's C++ implementation amortizes its
+// arrays across runs. In steady state — same input size, warm buffers —
+// Sort performs no allocations beyond the returned output slice, and
+// SortShared none at all.
+//
+// Config.MaxRetainedBytes caps the scratch kept between calls: after each
+// sort, buffers are dropped (largest first) until the retained total fits.
+// Release drops everything immediately.
 //
 // A Sorter is NOT safe for concurrent use; create one per goroutine or
 // guard it externally.
@@ -33,6 +40,25 @@ func (s *Sorter) Sort(a []Record) ([]Record, error) {
 	return out, err
 }
 
+// SortInto semisorts a into dst when cap(dst) >= len(a) and dst does not
+// alias a; otherwise a fresh output slice is allocated exactly as Sort
+// would. The returned slice is the one actually used. The input is never
+// modified.
+func (s *Sorter) SortInto(dst, a []Record) ([]Record, error) {
+	out, _, err := core.SemisortInto(&s.ws, dst, a, &s.cfg)
+	return out, err
+}
+
+// SortShared semisorts a into an output buffer owned by the Sorter, so a
+// steady-state caller allocates nothing at all. The returned slice is only
+// valid until the next call on this Sorter; feeding it back in as the next
+// input is safe (aliasing is detected and a fresh buffer used), but any
+// other retention requires a clone.
+func (s *Sorter) SortShared(a []Record) ([]Record, error) {
+	out, _, err := core.SemisortShared(&s.ws, a, &s.cfg)
+	return out, err
+}
+
 // SortWithStats is Sort plus the execution statistics.
 func (s *Sorter) SortWithStats(a []Record) ([]Record, Stats, error) {
 	return core.SemisortWS(&s.ws, a, &s.cfg)
@@ -42,4 +68,17 @@ func (s *Sorter) SortWithStats(a []Record) ([]Record, Stats, error) {
 // the Sorter's buffers.
 func (s *Sorter) SortConfig(a []Record, cfg *Config) ([]Record, Stats, error) {
 	return core.SemisortWS(&s.ws, a, cfg)
+}
+
+// Release drops every retained scratch buffer (including a SortShared
+// output), returning the Sorter to its zero memory footprint. The Sorter
+// remains usable; the next sort regrows what it needs.
+func (s *Sorter) Release() {
+	s.ws.Release()
+}
+
+// RetainedBytes reports the scratch memory the Sorter currently retains —
+// the quantity Config.MaxRetainedBytes caps.
+func (s *Sorter) RetainedBytes() int64 {
+	return s.ws.RetainedBytes()
 }
