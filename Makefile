@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz check stress repro repro-quick examples clean
+.PHONY: all build vet test race cover bench bench-smoke fuzz check stress repro repro-quick examples clean
 
 all: build vet test
 
@@ -36,6 +36,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke mirrors the CI job of the same name: every benchmark for
+# one iteration, gating compilation and setup, not speed.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Short fuzzing passes over the three fuzz targets.
 fuzz:

@@ -12,7 +12,8 @@
 //	semibench -compare BENCH_semisort.json                            # CI perf gate
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5
-// seqbaselines rrcompare schedulers ablation scatter faults observe reuse all.
+// seqbaselines rrcompare schedulers ablation scatter faults observe reuse
+// localsort all.
 package main
 
 import (
@@ -44,13 +45,14 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 	"faults":       bench.RunFaults,
 	"observe":      bench.RunObserve,
 	"reuse":        bench.RunReuse,
+	"localsort":    bench.RunLocalSort,
 }
 
 // order fixes a deterministic run order for -experiment all.
 var order = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "seqbaselines", "rrcompare", "schedulers", "ablation",
-	"scatter", "faults", "observe", "reuse",
+	"scatter", "faults", "observe", "reuse", "localsort",
 }
 
 func main() {

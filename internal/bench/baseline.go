@@ -42,8 +42,10 @@ type Baseline struct {
 	TotalSec float64 `json:"total_sec"`
 	// AllocsPerOp is the steady-state heap allocations per warm-workspace
 	// semisort call at one worker, keyed by scatter strategy ("probing",
-	// "counting"). Absent from baselines written before the pipeline
-	// refactor; Compare gates it only when the stored baseline has it.
+	// "counting") and, for baselines written after the arena kernels, by
+	// pinned Phase 4 kernel ("kernel_counting", "kernel_bucket"). Absent
+	// from baselines written before the pipeline refactor; Compare gates
+	// only the keys the stored baseline has.
 	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
@@ -137,6 +139,22 @@ func MeasureBaseline(o Options) Baseline {
 		"counting": allocsPerOp(allocReps, func() {
 			if _, _, err := core.SemisortWS(&ws, exp, &core.Config{Procs: 1, Seed: o.Seed + 7,
 				ScatterStrategy: core.ScatterCounting}); err != nil {
+				panic(err)
+			}
+		}),
+		// The non-default Phase 4 kernels share the workspace arenas, so a
+		// warm call must stay allocation-free for them too; a per-bucket
+		// naming table or scratch slice that slips off the arena shows up
+		// here before it shows up as time.
+		"kernel_counting": allocsPerOp(allocReps, func() {
+			if _, _, err := core.SemisortWS(&ws, exp, &core.Config{Procs: 1, Seed: o.Seed + 7,
+				LocalSort: core.LocalSortCounting}); err != nil {
+				panic(err)
+			}
+		}),
+		"kernel_bucket": allocsPerOp(allocReps, func() {
+			if _, _, err := core.SemisortWS(&ws, a, &core.Config{Procs: 1, Seed: o.Seed + 7,
+				LocalSort: core.LocalSortBucket}); err != nil {
 				panic(err)
 			}
 		}),

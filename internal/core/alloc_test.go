@@ -26,29 +26,37 @@ func allocDists(n int) []diffDist {
 	}
 }
 
+// allocKinds is the Phase 4 kernel dimension of the steady-state gates:
+// every kernel owns different arena buffers (naming table, label arrays,
+// sub-bucket counts), so each must be exercised to pin the
+// zero-allocation contract.
+var allocKinds = []LocalSortKind{LocalSortHybrid, LocalSortCounting, LocalSortBucket}
+
 func TestSteadyStateAllocsWS(t *testing.T) {
 	const n = 60000
 	for _, strat := range []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting} {
-		for _, d := range allocDists(n) {
-			t.Run(fmt.Sprintf("%v/%s", strat, d.name), func(t *testing.T) {
-				cfg := &Config{Procs: 1, Seed: 11, ScatterStrategy: strat}
-				ws := &Workspace{}
-				for i := 0; i < 2; i++ { // warm the workspace
-					if _, _, err := SemisortWS(ws, d.data, cfg); err != nil {
-						t.Fatal(err)
+		for _, kind := range allocKinds {
+			for _, d := range allocDists(n) {
+				t.Run(fmt.Sprintf("%v/%v/%s", strat, kind, d.name), func(t *testing.T) {
+					cfg := &Config{Procs: 1, Seed: 11, ScatterStrategy: strat, LocalSort: kind}
+					ws := &Workspace{}
+					for i := 0; i < 2; i++ { // warm the workspace
+						if _, _, err := SemisortWS(ws, d.data, cfg); err != nil {
+							t.Fatal(err)
+						}
 					}
-				}
-				allocs := testing.AllocsPerRun(10, func() {
-					if _, _, err := SemisortWS(ws, d.data, cfg); err != nil {
-						t.Fatal(err)
+					allocs := testing.AllocsPerRun(10, func() {
+						if _, _, err := SemisortWS(ws, d.data, cfg); err != nil {
+							t.Fatal(err)
+						}
+					})
+					// One allocation is the returned output slice; at most two
+					// more are tolerated for incidental runtime effects.
+					if allocs > 3 {
+						t.Errorf("SemisortWS steady state: %.1f allocs/run, want <= 3 (1 output + <= 2)", allocs)
 					}
 				})
-				// One allocation is the returned output slice; at most two
-				// more are tolerated for incidental runtime effects.
-				if allocs > 3 {
-					t.Errorf("SemisortWS steady state: %.1f allocs/run, want <= 3 (1 output + <= 2)", allocs)
-				}
-			})
+			}
 		}
 	}
 }
@@ -56,24 +64,26 @@ func TestSteadyStateAllocsWS(t *testing.T) {
 func TestSteadyStateAllocsShared(t *testing.T) {
 	const n = 60000
 	for _, strat := range []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting} {
-		for _, d := range allocDists(n) {
-			t.Run(fmt.Sprintf("%v/%s", strat, d.name), func(t *testing.T) {
-				cfg := &Config{Procs: 1, Seed: 11, ScatterStrategy: strat}
-				ws := &Workspace{}
-				for i := 0; i < 2; i++ {
-					if _, _, err := SemisortShared(ws, d.data, cfg); err != nil {
-						t.Fatal(err)
+		for _, kind := range allocKinds {
+			for _, d := range allocDists(n) {
+				t.Run(fmt.Sprintf("%v/%v/%s", strat, kind, d.name), func(t *testing.T) {
+					cfg := &Config{Procs: 1, Seed: 11, ScatterStrategy: strat, LocalSort: kind}
+					ws := &Workspace{}
+					for i := 0; i < 2; i++ {
+						if _, _, err := SemisortShared(ws, d.data, cfg); err != nil {
+							t.Fatal(err)
+						}
 					}
-				}
-				allocs := testing.AllocsPerRun(10, func() {
-					if _, _, err := SemisortShared(ws, d.data, cfg); err != nil {
-						t.Fatal(err)
+					allocs := testing.AllocsPerRun(10, func() {
+						if _, _, err := SemisortShared(ws, d.data, cfg); err != nil {
+							t.Fatal(err)
+						}
+					})
+					if allocs > 2 {
+						t.Errorf("SemisortShared steady state: %.1f allocs/run, want <= 2", allocs)
 					}
 				})
-				if allocs > 2 {
-					t.Errorf("SemisortShared steady state: %.1f allocs/run, want <= 2", allocs)
-				}
-			})
+			}
 		}
 	}
 }

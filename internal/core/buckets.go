@@ -86,6 +86,20 @@ func (pl *plan) allocatePhase() error {
 			}
 		}
 	}
+	// Dense heavy-directory fast path: flag every light hash range that
+	// contains a heavy key by storing the complement of its bucket id.
+	// bucketOf then resolves records in unflagged ranges — the common case
+	// when heavy keys are few — with one array load and no table probe,
+	// reserving the hash-and-probe slow path for the flagged ranges.
+	// The Empty-key heavy run flags its range too, covering the dedicated
+	// emptyKeyBucket check. (numLight >= 1 always, and a shift of 64 —
+	// numLight == 1 — indexes range 0, matching bucketOf's read.)
+	for _, hr := range pl.heavyRuns {
+		if j := hr.key >> pl.shift; pl.lightBucketOf[j] >= 0 {
+			pl.lightBucketOf[j] = ^pl.lightBucketOf[j]
+		}
+	}
+
 	pl.ws.buckets = buckets
 	pl.buckets = buckets
 	pl.firstLight = firstLight

@@ -27,6 +27,17 @@ const (
 	LocalSortBucket
 )
 
+func (k LocalSortKind) String() string {
+	switch k {
+	case LocalSortCounting:
+		return "counting"
+	case LocalSortBucket:
+		return "bucket"
+	default:
+		return "hybrid"
+	}
+}
+
 // ProbeKind selects the Phase 3 collision strategy.
 type ProbeKind int
 
@@ -109,6 +120,12 @@ type Config struct {
 	ExactBucketSizes bool
 	// LocalSort selects the Phase 4 algorithm.
 	LocalSort LocalSortKind
+	// UniformLocalSortChunks disables the size-aware Phase 4 schedule,
+	// splitting the light buckets into one uniform-bucket-count range per
+	// worker regardless of bucket sizes (ablation: under skew one giant
+	// merged bucket then serializes the phase behind whichever worker
+	// drew it).
+	UniformLocalSortChunks bool
 	// Probe selects the Phase 3 collision strategy (probing scatter only).
 	// A non-linear probe kind forces ScatterProbing — the alternative
 	// probes parameterize the probing placement, so combining them with
@@ -242,6 +259,11 @@ type Stats struct {
 	// scatter performed (full cache-line flushes plus end-of-block
 	// drains); zero on the probing path or when staging was bypassed.
 	ScatterFlushes int64
+	// LocalSortRanges is the number of size-aware bucket ranges the Phase
+	// 4 schedule cut the light buckets into (1 at Procs == 1, at most
+	// 8 × Procs otherwise; the bucket count per worker under
+	// UniformLocalSortChunks). Zero when the attempt had no light buckets.
+	LocalSortRanges int
 
 	// Recovery bookkeeping (Attempts == 1 and the rest zero on a clean
 	// first-attempt success).

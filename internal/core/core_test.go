@@ -399,7 +399,8 @@ func TestCountingSemisortDirect(t *testing.T) {
 		{Key: 9, Value: 3}, {Key: 3, Value: 4}, {Key: 7, Value: 5},
 	}
 	orig := append([]rec.Record(nil), seg...)
-	countingSemisort(seg)
+	var ar lsArena
+	ar.countingSemisort(seg)
 	if !rec.IsSemisorted(seg) {
 		t.Fatalf("countingSemisort output not semisorted: %v", seg)
 	}
@@ -409,14 +410,15 @@ func TestCountingSemisortDirect(t *testing.T) {
 }
 
 func TestCountingSemisortEdge(t *testing.T) {
-	countingSemisort(nil)
+	var ar lsArena
+	ar.countingSemisort(nil)
 	one := []rec.Record{{Key: 5}}
-	countingSemisort(one)
+	ar.countingSemisort(one)
 	if one[0].Key != 5 {
 		t.Error("single record mutated")
 	}
 	same := []rec.Record{{Key: 5, Value: 1}, {Key: 5, Value: 2}}
-	countingSemisort(same)
+	ar.countingSemisort(same)
 	if same[0].Key != 5 || same[1].Key != 5 {
 		t.Error("all-equal segment broken")
 	}
@@ -429,7 +431,8 @@ func TestCountingSemisortQuick(t *testing.T) {
 			seg[i] = rec.Record{Key: uint64(k % 23), Value: uint64(i)}
 		}
 		orig := append([]rec.Record(nil), seg...)
-		countingSemisort(seg)
+		var ar lsArena
+		ar.countingSemisort(seg)
 		return rec.IsSemisorted(seg) && rec.SamePermutation(orig, seg)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {

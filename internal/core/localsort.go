@@ -3,6 +3,25 @@
 // scatter stage (the probing stage compacts slot ranges first; the
 // counting stage works in place in the output); the per-segment kernels
 // here are shared by both.
+//
+// Two cache/allocation properties distinguish this file from a naive
+// per-bucket implementation (they are where the flexible-semisort
+// follow-up, arXiv:2304.10078, attributes most of its practical
+// speedup):
+//
+//   - Every kernel runs on a per-worker lsArena owned by the Workspace:
+//     the naming problem uses a reusable flat open-addressing table
+//     instead of a Go map, and the label/scratch/count arrays grow once
+//     per worker instead of being allocated per bucket, so a warm
+//     workspace executes Phase 4 without touching the heap for any
+//     LocalSortKind.
+//
+//   - Buckets are traversed in size-aware ranges: a prefix sum over the
+//     per-bucket sizes is cut into near-equal-weight contiguous ranges
+//     (prim.BalancedBounds), so under skew a giant light bucket gets a
+//     range of its own instead of dragging its uniform-chunk neighbors
+//     onto one worker's critical path, and each worker claims one arena
+//     per range instead of per bucket.
 package core
 
 import (
@@ -11,7 +30,9 @@ import (
 	"math/bits"
 	"time"
 
+	"repro/internal/hash"
 	"repro/internal/obsv"
+	"repro/internal/prim"
 	"repro/internal/rec"
 	"repro/internal/sortcmp"
 )
@@ -24,64 +45,159 @@ func (pl *plan) localSortPhase(st scatterStage) error {
 	pl.tr.phaseStart(pl.attempt, obsv.PhaseLocalSort)
 	t0 := time.Now()
 	if err := st.localSort(pl); err != nil {
-		pl.tr.span(pl.attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeCanceled)
+		pl.tr.localSortSpan(pl.attempt, t0, obsv.OutcomeCanceled, pl.cfg.LocalSort.String(), int64(pl.stats.LocalSortRanges))
 		return fmt.Errorf("semisort: canceled at local sort: %w", err)
 	}
 	pl.stats.Phases.LocalSort = time.Since(t0)
-	pl.tr.span(pl.attempt, obsv.PhaseLocalSort, t0, obsv.OutcomeOK)
+	pl.tr.localSortSpan(pl.attempt, t0, obsv.OutcomeOK, pl.cfg.LocalSort.String(), int64(pl.stats.LocalSortRanges))
 	return nil
 }
 
-// localSortSeg groups one light bucket's records in place with the
+// lsRangesPerProc is how many size-aware ranges each worker gets on
+// average: enough that the chunk-claiming cursor can absorb residual
+// imbalance, few enough that per-range costs (an arena acquire, a
+// cursor bump) stay negligible.
+const lsRangesPerProc = 8
+
+// planLightRanges cuts the merged light buckets into pl.lsRanges
+// contiguous ranges of near-equal total weight, where weightOf prices
+// one bucket's Phase 4 work (slot-array length on the probing path,
+// exact record count on the counting path). The boundaries land in
+// workspace-owned buffers, so the steady state allocates nothing. With
+// Config.UniformLocalSortChunks set (ablation) the ranges are instead
+// uniform in bucket count, one per worker — the schedule PR 4 shipped.
+func (pl *plan) planLightRanges(weightOf func(*plan, int) int64) {
+	nb := pl.numLightMerged
+	if nb == 0 {
+		pl.lsRanges = 0
+		pl.stats.LocalSortRanges = 0
+		return
+	}
+	ranges := min(nb, pl.procs*lsRangesPerProc)
+	if pl.procs == 1 {
+		// One serial range: no scheduling to balance, one arena acquire.
+		ranges = 1
+	}
+	bounds := grow(&pl.ws.lsBounds, ranges+1)
+	if pl.cfg.UniformLocalSortChunks {
+		uniform := min(nb, pl.procs)
+		bounds = grow(&pl.ws.lsBounds, uniform+1)
+		for i := 0; i <= uniform; i++ {
+			bounds[i] = int32(i * nb / uniform)
+		}
+		pl.lsBounds, pl.lsRanges = bounds, uniform
+		pl.stats.LocalSortRanges = uniform
+		return
+	}
+	cum := grow(&pl.ws.lsCum, nb)
+	var run int64
+	for j := 0; j < nb; j++ {
+		run += weightOf(pl, j)
+		cum[j] = run
+	}
+	prim.BalancedBounds(bounds, cum)
+	pl.lsCum, pl.lsBounds, pl.lsRanges = cum, bounds, ranges
+	pl.stats.LocalSortRanges = ranges
+}
+
+// An lsArena is one worker's Phase 4 scratch: the naming table, label
+// arrays, record scratch and counting buffers every local-sort kernel
+// needs. Arenas live in the Workspace and are handed to workers through
+// a buffered-channel free-list (the same pattern as the counting
+// scatter's staging slots), one acquire per size-aware range; each
+// buffer grows to the largest segment its worker has seen and is then
+// reused, so a warm workspace sorts without allocating.
+type lsArena struct {
+	labels     []int32
+	labScratch []int32
+	scratch    []rec.Record
+	counts     []int32
+	offs       []int32
+	// Flat open-addressing naming table (countingSemisort): tabLabs
+	// stores label+1 so the zero value means vacant and reuse is a
+	// memclr of the sized view; any uint64 — including 0 and ^0 — is a
+	// valid key.
+	tabKeys []uint64
+	tabLabs []int32
+}
+
+// sortSeg groups one light bucket's records in place with the
 // configured local-sort algorithm (Phase 4); both scatter strategies
 // share it.
-func localSortSeg(kind LocalSortKind, seg []rec.Record) {
+func (ar *lsArena) sortSeg(kind LocalSortKind, seg []rec.Record) {
 	switch kind {
 	case LocalSortCounting:
-		countingSemisort(seg)
+		ar.countingSemisort(seg)
 	case LocalSortBucket:
-		bucketLocalSort(seg)
+		ar.bucketLocalSort(seg)
 	default:
 		sortcmp.Introsort(seg)
 	}
 }
 
 // countingSemisort groups equal keys in seg using the naming problem (a
-// small hash table assigning dense labels in first-appearance order)
-// followed by two stable counting-sort passes over the label digits — the
-// Rajasekaran–Reif style local semisort from Step 7c of Algorithm 1.
-func countingSemisort(seg []rec.Record) {
+// flat open-addressing table assigning dense labels in first-appearance
+// order) followed by two stable counting-sort passes over the label
+// digits — the Rajasekaran–Reif style local semisort from Step 7c of
+// Algorithm 1. Labels are identical to the historical map-based
+// implementation (first appearance order), so the output is unchanged.
+func (ar *lsArena) countingSemisort(seg []rec.Record) {
 	n := len(seg)
 	if n <= 1 {
 		return
 	}
-	// Naming: dense labels in [0, m).
-	labels := make([]int32, n)
-	tbl := make(map[uint64]int32, 16)
-	for i, r := range seg {
-		l, ok := tbl[r.Key]
-		if !ok {
-			l = int32(len(tbl))
-			tbl[r.Key] = l
-		}
-		labels[i] = l
+	// Naming: dense labels in [0, m) via linear probing at load ≤ 1/2.
+	labels := grow(&ar.labels, n)
+	size := 4
+	if n > 2 {
+		size = 1 << uint(bits.Len(uint(2*n-1)))
 	}
-	m := len(tbl)
+	if cap(ar.tabKeys) < size {
+		ar.tabKeys = make([]uint64, size)
+		ar.tabLabs = make([]int32, size)
+	}
+	keys := ar.tabKeys[:size]
+	labs := ar.tabLabs[:size]
+	clear(labs)
+	mask := uint64(size - 1)
+	var m int32
+	for i, r := range seg {
+		h := hash.Fmix64(r.Key) & mask
+		for {
+			l := labs[h]
+			if l == 0 {
+				keys[h] = r.Key
+				m++
+				labs[h] = m
+				labels[i] = m - 1
+				break
+			}
+			if keys[h] == r.Key {
+				labels[i] = l - 1
+				break
+			}
+			h = (h + 1) & mask
+		}
+	}
 	if m == 1 {
 		return
 	}
 	// Two passes of stable counting sort on base-⌈sqrt(m)⌉ digits.
 	base := int(math.Ceil(math.Sqrt(float64(m))))
-	scratch := make([]rec.Record, n)
-	labScratch := make([]int32, n)
-	countingPass(seg, scratch, labels, labScratch, base, func(l int32) int { return int(l) % base })
-	countingPass(seg, scratch, labels, labScratch, (m+base-1)/base+1, func(l int32) int { return int(l) / base })
+	hi := (int(m)+base-1)/base + 1
+	scratch := grow(&ar.scratch, n)
+	labScratch := grow(&ar.labScratch, n)
+	counts := grow(&ar.counts, max(base, hi)+1)
+	countingPass(seg, scratch, labels, labScratch, counts, base, func(l int32) int { return int(l) % base })
+	countingPass(seg, scratch, labels, labScratch, counts, hi, func(l int32) int { return int(l) / base })
 }
 
 // countingPass stably sorts seg (and its labels, kept in lockstep) by
-// digit(label) in [0, m).
-func countingPass(seg, scratch []rec.Record, labels, labScratch []int32, m int, digit func(int32) int) {
-	counts := make([]int32, m+1)
+// digit(label) in [0, m), using the first m+1 entries of counts as its
+// (cleared) histogram.
+func countingPass(seg, scratch []rec.Record, labels, labScratch, counts []int32, m int, digit func(int32) int) {
+	counts = counts[:m+1]
+	clear(counts)
 	for _, l := range labels {
 		counts[digit(l)+1]++
 	}
@@ -104,7 +220,7 @@ func countingPass(seg, scratch []rec.Record, labels, labScratch []int32, m int, 
 // by linear interpolation leaves O(1) expected records per sub-bucket,
 // finished with insertion sort. One of the Phase 4 alternatives from the
 // paper's implementation section.
-func bucketLocalSort(seg []rec.Record) {
+func (ar *lsArena) bucketLocalSort(seg []rec.Record) {
 	n := len(seg)
 	if n <= 32 {
 		sortcmp.Introsort(seg)
@@ -137,15 +253,16 @@ func bucketLocalSort(seg []rec.Record) {
 		}
 		return b
 	}
-	counts := make([]int32, m+1)
+	counts := grow(&ar.counts, m+1)
+	clear(counts)
 	for _, r := range seg {
 		counts[idx(r.Key)+1]++
 	}
 	for b := 0; b < m; b++ {
 		counts[b+1] += counts[b]
 	}
-	scratch := make([]rec.Record, n)
-	offs := make([]int32, m)
+	scratch := grow(&ar.scratch, n)
+	offs := grow(&ar.offs, m)
 	copy(offs, counts[:m])
 	for _, r := range seg {
 		b := idx(r.Key)
@@ -158,5 +275,78 @@ func bucketLocalSort(seg []rec.Record) {
 		if len(sub) > 1 {
 			sortcmp.Introsort(sub)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Legacy per-bucket-allocating kernels.
+//
+// These are the PR 4 implementations, retained verbatim as the baseline
+// arm of the localsort experiment (semibench -experiment localsort) and
+// the kernel microbenchmarks: they produce identical output to the
+// arena kernels but allocate a map, label arrays, scratch records and
+// count arrays per bucket. Nothing on the semisort path calls them.
+
+// localSortSegAlloc dispatches to the legacy allocating kernels.
+func localSortSegAlloc(kind LocalSortKind, seg []rec.Record) {
+	switch kind {
+	case LocalSortCounting:
+		countingSemisortAlloc(seg)
+	case LocalSortBucket:
+		bucketLocalSortAlloc(seg)
+	default:
+		sortcmp.Introsort(seg)
+	}
+}
+
+func countingSemisortAlloc(seg []rec.Record) {
+	n := len(seg)
+	if n <= 1 {
+		return
+	}
+	labels := make([]int32, n)
+	tbl := make(map[uint64]int32, 16)
+	for i, r := range seg {
+		l, ok := tbl[r.Key]
+		if !ok {
+			l = int32(len(tbl))
+			tbl[r.Key] = l
+		}
+		labels[i] = l
+	}
+	m := len(tbl)
+	if m == 1 {
+		return
+	}
+	base := int(math.Ceil(math.Sqrt(float64(m))))
+	hi := (m+base-1)/base + 1
+	scratch := make([]rec.Record, n)
+	labScratch := make([]int32, n)
+	counts := make([]int32, max(base, hi)+1)
+	countingPass(seg, scratch, labels, labScratch, counts, base, func(l int32) int { return int(l) % base })
+	countingPass(seg, scratch, labels, labScratch, counts, hi, func(l int32) int { return int(l) / base })
+}
+
+func bucketLocalSortAlloc(seg []rec.Record) {
+	var ar lsArena // fresh arena: every buffer is allocated for this call
+	ar.bucketLocalSort(seg)
+}
+
+// LocalSortKernel sorts each segment in place with the chosen Phase 4
+// kernel; legacy selects the per-bucket-allocating PR 4 implementations,
+// otherwise one reused arena serves every segment the way a warm
+// workspace worker would. Exported for the localsort experiment and the
+// kernel microbenchmarks only — the semisort pipeline drives the kernels
+// through its scatter stages.
+func LocalSortKernel(kind LocalSortKind, legacy bool, segs [][]rec.Record) {
+	if legacy {
+		for _, s := range segs {
+			localSortSegAlloc(kind, s)
+		}
+		return
+	}
+	var ar lsArena
+	for _, s := range segs {
+		ar.sortSeg(kind, s)
 	}
 }

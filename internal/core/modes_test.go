@@ -97,7 +97,8 @@ func TestBucketLocalSortDirect(t *testing.T) {
 			seg[i] = rec.Record{Key: k, Value: uint64(i)}
 		}
 		orig := append([]rec.Record(nil), seg...)
-		bucketLocalSort(seg)
+		var ar lsArena
+		ar.bucketLocalSort(seg)
 		if !rec.IsSorted(seg) {
 			t.Errorf("keys %v: not sorted: %v", keys, seg)
 		}
@@ -115,7 +116,8 @@ func TestBucketLocalSortLarge(t *testing.T) {
 		seg[i] = rec.Record{Key: 1<<40 + uint64(i*i%977), Value: uint64(i)}
 	}
 	orig := append([]rec.Record(nil), seg...)
-	bucketLocalSort(seg)
+	var ar lsArena
+	ar.bucketLocalSort(seg)
 	if !rec.IsSorted(seg) || !rec.SamePermutation(orig, seg) {
 		t.Fatal("large bucket sort failed")
 	}

@@ -125,6 +125,11 @@ type plan struct {
 	flushes     atomic.Int64
 	placedTotal int
 
+	// Phase 4 size-aware schedule (both paths).
+	lsCum    []int64
+	lsBounds []int32
+	lsRanges int
+
 	// Phase 4–5 state (probing path).
 	lightCnt     []int32
 	lightOffsets []int32
@@ -180,6 +185,7 @@ func (pl *plan) begin(ws *Workspace, a, dst []rec.Record, c *Config, sampleAttem
 	pl.flushes.Store(0)
 	pl.placedTotal = 0
 
+	pl.lsCum, pl.lsBounds, pl.lsRanges = nil, nil, 0
 	pl.lightCnt, pl.lightOffsets, pl.packCounts = nil, nil, nil
 	pl.intervals, pl.ilen, pl.packTotal = 0, 0, 0
 	pl.heavyTotal, pl.lightTotal = 0, 0
@@ -203,6 +209,7 @@ func (pl *plan) clearRefs() {
 	pl.slots, pl.occ = nil, nil
 	pl.ofBuckets = nil
 	pl.hist, pl.counts, pl.cbase = nil, nil, nil
+	pl.lsCum, pl.lsBounds = nil, nil
 	pl.lightCnt, pl.lightOffsets, pl.packCounts = nil, nil, nil
 	pl.stats = Stats{}
 }
@@ -311,19 +318,80 @@ func (pl *plan) parForEachNoCtx(n, grain int, f func(*plan, int)) {
 
 // bucketOf resolves a record to its bucket id and whether it took the
 // heavy path. Hot: called once (counting: twice) per record in Phase 3.
+//
+// lightBucketOf doubles as a dense heavy directory: ranges containing no
+// heavy key store their light bucket id directly, so the common case —
+// light record, unflagged range — resolves with the one array load Phase
+// 3 needed anyway, no hash and no table probe. Ranges that do contain a
+// heavy key (flagged by allocatePhase with the id's complement) fall to
+// the slow path, which consults the heavy table and decodes the
+// complement on a miss.
 func (pl *plan) bucketOf(r rec.Record) (int64, bool) {
-	if r.Key == hashtable.Empty {
+	if v := pl.lightBucketOf[r.Key>>pl.shift]; v >= 0 {
+		return int64(v), false
+	}
+	return pl.bucketOfSlow(r.Key)
+}
+
+// bucketOfSlow resolves a key whose hash range is flagged as containing a
+// heavy key. Split out so bucketOf's fast path inlines into the scatter
+// loops.
+func (pl *plan) bucketOfSlow(k uint64) (int64, bool) {
+	if k == hashtable.Empty {
 		if pl.emptyKeyBucket >= 0 {
 			// The table's reserved key gets a dedicated heavy bucket.
 			return pl.emptyKeyBucket, true
 		}
-		return int64(pl.lightBucketOf[r.Key>>pl.shift]), false
-	}
-	if v, ok := pl.table.Lookup(r.Key); ok {
+	} else if v, ok := pl.table.Lookup(k); ok {
 		return int64(v), true
 	}
-	// lightBucketOf stores absolute bucket indices.
-	return int64(pl.lightBucketOf[r.Key>>pl.shift]), false
+	return int64(^pl.lightBucketOf[k>>pl.shift]), false
+}
+
+// probeBatch is the record blocking factor of the batched classifiers:
+// matches hashtable's lookup block so one bucketOfBatch resolves in a
+// single table-probe burst.
+const probeBatch = 16
+
+// bucketOfBatch resolves records a[base:base+m] (m ≤ probeBatch) into
+// bids/heavy, exactly as m bucketOf calls would. Records in unflagged
+// ranges resolve inline; the rest are gathered and resolved through one
+// hashtable.LookupBatch call, so their dependent probe loads overlap in
+// the memory system instead of serializing — the point of blocking the
+// scatter loops. All scratch is fixed-size and stack-allocated.
+func (pl *plan) bucketOfBatch(base, m int, bids *[probeBatch]int64, heavy *[probeBatch]bool) {
+	var keys [probeBatch]uint64
+	var vals [probeBatch]uint64
+	var ok [probeBatch]bool
+	var slow [probeBatch]uint8
+	shift := pl.shift
+	nslow := 0
+	for i := 0; i < m; i++ {
+		k := pl.a[base+i].Key
+		if v := pl.lightBucketOf[k>>shift]; v >= 0 {
+			bids[i], heavy[i] = int64(v), false
+		} else {
+			keys[nslow] = k
+			slow[nslow] = uint8(i)
+			nslow++
+		}
+	}
+	if nslow == 0 {
+		return
+	}
+	pl.table.LookupBatch(keys[:nslow], vals[:nslow], ok[:nslow])
+	for j := 0; j < nslow; j++ {
+		i := slow[j]
+		k := keys[j]
+		switch {
+		case k == hashtable.Empty && pl.emptyKeyBucket >= 0:
+			bids[i], heavy[i] = pl.emptyKeyBucket, true
+		case ok[j]:
+			bids[i], heavy[i] = int64(vals[j]), true
+		default:
+			bids[i], heavy[i] = int64(^pl.lightBucketOf[k>>shift]), false
+		}
+	}
 }
 
 // ensureOut binds pl.out for the attempt: the caller-provided destination

@@ -123,12 +123,17 @@ func (pl *plan) countingScatterBody() error {
 
 func (pl *plan) countingHistChunk(blo, bhi int) {
 	nb := len(pl.buckets)
+	var bids [probeBatch]int64
+	var heavy [probeBatch]bool
 	for blk := blo; blk < bhi; blk++ {
 		h := pl.hist[blk*nb : (blk+1)*nb]
 		lo, hi := blk*pl.cplan.grain, min((blk+1)*pl.cplan.grain, pl.n)
-		for i := lo; i < hi; i++ {
-			bid, _ := pl.bucketOf(pl.a[i])
-			h[bid]++
+		for base := lo; base < hi; base += probeBatch {
+			m := min(probeBatch, hi-base)
+			pl.bucketOfBatch(base, m, &bids, &heavy)
+			for u := 0; u < m; u++ {
+				h[bids[u]]++
+			}
 		}
 	}
 }
@@ -159,35 +164,45 @@ func (pl *plan) countingCursorChunk(lo, hi int) {
 func (pl *plan) countingPassChunk(blo, bhi int) {
 	nb := len(pl.buckets)
 	var nf int64
+	var bids [probeBatch]int64
+	var heavy [probeBatch]bool
 	for blk := blo; blk < bhi; blk++ {
 		offs := pl.hist[blk*nb : (blk+1)*nb]
 		lo, hi := blk*pl.cplan.grain, min((blk+1)*pl.cplan.grain, pl.n)
 		if !pl.cplan.staged || fault.Should(fault.StageFlush) {
-			for i := lo; i < hi; i++ {
-				bid, _ := pl.bucketOf(pl.a[i])
-				pl.out[offs[bid]] = pl.a[i]
-				offs[bid]++
+			for base := lo; base < hi; base += probeBatch {
+				m := min(probeBatch, hi-base)
+				pl.bucketOfBatch(base, m, &bids, &heavy)
+				for u := 0; u < m; u++ {
+					bid := bids[u]
+					pl.out[offs[bid]] = pl.a[base+u]
+					offs[bid]++
+				}
 			}
 			continue
 		}
 		slot := pl.ws.acquireStage()
 		buf := pl.ws.stageBuf[slot*nb*countingStageSlots : (slot+1)*nb*countingStageSlots]
 		cnt := pl.ws.stageCnt[slot*nb : (slot+1)*nb]
-		for i := lo; i < hi; i++ {
-			r := pl.a[i]
-			bid, _ := pl.bucketOf(r)
-			c := cnt[bid]
-			buf[int(bid)*countingStageSlots+int(c)] = r
-			c++
-			if int(c) == countingStageSlots {
-				p := offs[bid]
-				copy(pl.out[p:p+countingStageSlots],
-					buf[int(bid)*countingStageSlots:(int(bid)+1)*countingStageSlots])
-				offs[bid] = p + countingStageSlots
-				cnt[bid] = 0
-				nf++
-			} else {
-				cnt[bid] = c
+		for base := lo; base < hi; base += probeBatch {
+			m := min(probeBatch, hi-base)
+			pl.bucketOfBatch(base, m, &bids, &heavy)
+			for u := 0; u < m; u++ {
+				r := pl.a[base+u]
+				bid := bids[u]
+				c := cnt[bid]
+				buf[int(bid)*countingStageSlots+int(c)] = r
+				c++
+				if int(c) == countingStageSlots {
+					p := offs[bid]
+					copy(pl.out[p:p+countingStageSlots],
+						buf[int(bid)*countingStageSlots:(int(bid)+1)*countingStageSlots])
+					offs[bid] = p + countingStageSlots
+					cnt[bid] = 0
+					nf++
+				} else {
+					cnt[bid] = c
+				}
 			}
 		}
 		// Drain partial lines, restoring the all-zero cnt invariant.
@@ -208,19 +223,33 @@ func (pl *plan) countingPassChunk(blo, bhi int) {
 
 // localSort semisorts each light bucket in place in the output (Phase 4);
 // the counting scatter already placed every bucket at its final packed
-// offset.
+// offset. Buckets are traversed in size-aware ranges (planLightRanges),
+// each range served by one workspace arena; this path knows every
+// bucket's exact record count from pass 1, so that is the weight.
 func (countingStage) localSort(pl *plan) error {
+	pl.planLightRanges((*plan).countingBucketWeight)
+	pl.ws.ensureArenas(pl.procs)
 	return pl.tr.labeledPhase(pl, "localsort", (*plan).countingLocalSortBody)
 }
 
-func (pl *plan) countingLocalSortBody() error {
-	return pl.parForEach(pl.numLightMerged, 1, (*plan).countingLocalSortOne)
+func (pl *plan) countingBucketWeight(j int) int64 {
+	return int64(pl.counts[pl.firstLight+j])
 }
 
-func (pl *plan) countingLocalSortOne(j int) {
-	b := pl.firstLight + j
-	lo := int(pl.cbase[b])
-	localSortSeg(pl.cfg.LocalSort, pl.out[lo:lo+int(pl.counts[b])])
+func (pl *plan) countingLocalSortBody() error {
+	return pl.parForEach(pl.lsRanges, 1, (*plan).countingLocalSortRange)
+}
+
+func (pl *plan) countingLocalSortRange(ri int) {
+	slot := pl.ws.acquireArena()
+	ar := &pl.ws.lsArenas[slot]
+	kind := pl.cfg.LocalSort
+	for j := int(pl.lsBounds[ri]); j < int(pl.lsBounds[ri+1]); j++ {
+		b := pl.firstLight + j
+		lo := int(pl.cbase[b])
+		ar.sortSeg(kind, pl.out[lo:lo+int(pl.counts[b])])
+	}
+	pl.ws.releaseArena(slot)
 }
 
 // pack is a no-op invariant check: the scatter already packed.

@@ -70,36 +70,47 @@ func (pl *plan) probeScatterChunk(lo, hi int) {
 	random := pl.cfg.Probe == ProbeRandom
 	localHeavy := int64(0)
 	localMaxRun := int64(0)
-	for i := lo; i < hi; i++ {
-		r := pl.a[i]
-		bid, heavy := pl.bucketOf(r)
-		if heavy {
-			localHeavy++
-		}
-		bk := pl.buckets[bid]
-		pos := bucketPos(pl.scatterRNG.Rand(uint64(i)), bk.sz, exact)
-		placed := false
-		for try := uint64(0); try < bk.sz; try++ {
-			idx := bk.off + int64(pos)
-			if random {
-				idx = bk.off + int64(bucketPos(pl.scatterRNG.Rand(uint64(i)^(try+1)<<32), bk.sz, exact))
+	// Records are classified in blocks of probeBatch so the heavy-directory
+	// lookups overlap their cache misses (bucketOfBatch); placement then
+	// proceeds per record in input order with the same per-index RNG, so
+	// the output is bit-for-bit what the scalar loop produced.
+	var bids [probeBatch]int64
+	var heavy [probeBatch]bool
+	for base := lo; base < hi; base += probeBatch {
+		m := min(probeBatch, hi-base)
+		pl.bucketOfBatch(base, m, &bids, &heavy)
+		for u := 0; u < m; u++ {
+			i := base + u
+			r := pl.a[i]
+			bid := bids[u]
+			if heavy[u] {
+				localHeavy++
 			}
-			if atomic.CompareAndSwapUint32(&pl.occ[idx], 0, 1) {
-				pl.slots[idx] = r
-				placed = true
-				if int64(try) > localMaxRun {
-					localMaxRun = int64(try)
+			bk := pl.buckets[bid]
+			pos := bucketPos(pl.scatterRNG.Rand(uint64(i)), bk.sz, exact)
+			placed := false
+			for try := uint64(0); try < bk.sz; try++ {
+				idx := bk.off + int64(pos)
+				if random {
+					idx = bk.off + int64(bucketPos(pl.scatterRNG.Rand(uint64(i)^(try+1)<<32), bk.sz, exact))
 				}
-				break
+				if atomic.CompareAndSwapUint32(&pl.occ[idx], 0, 1) {
+					pl.slots[idx] = r
+					placed = true
+					if int64(try) > localMaxRun {
+						localMaxRun = int64(try)
+					}
+					break
+				}
+				pos++
+				if pos == bk.sz {
+					pos = 0
+				}
 			}
-			pos++
-			if pos == bk.sz {
-				pos = 0
+			if !placed {
+				pl.recordOverflow(bid)
+				return
 			}
-		}
-		if !placed {
-			pl.recordOverflow(bid)
-			return
 		}
 	}
 	pl.heavyPlaced.Add(localHeavy)
@@ -125,29 +136,44 @@ func (pl *plan) recordOverflow(bid int64) {
 }
 
 // localSort compacts each light bucket within its slot range and semisorts
-// it there (Phase 4); the compacted counts feed the pack phase.
+// it there (Phase 4); the compacted counts feed the pack phase. Buckets
+// are traversed in size-aware ranges (planLightRanges), each range served
+// by one workspace arena; on this path a bucket's cost is dominated by
+// scanning its slot range, so the weight is the slot-array length.
 func (probingStage) localSort(pl *plan) error {
 	pl.lightCnt = grow(&pl.ws.lightCnt, pl.numLightMerged)
+	pl.planLightRanges((*plan).probeBucketWeight)
+	pl.ws.ensureArenas(pl.procs)
 	return pl.tr.labeledPhase(pl, "localsort", (*plan).probeLocalSortBody)
 }
 
-func (pl *plan) probeLocalSortBody() error {
-	return pl.parForEach(pl.numLightMerged, 1, (*plan).probeLocalSortOne)
+func (pl *plan) probeBucketWeight(j int) int64 {
+	return int64(pl.buckets[pl.firstLight+j].sz)
 }
 
-func (pl *plan) probeLocalSortOne(j int) {
-	bk := pl.buckets[pl.firstLight+j]
-	lo, hi := bk.off, bk.off+int64(bk.sz)
-	w := lo
-	for i := lo; i < hi; i++ {
-		if pl.occ[i] != 0 {
-			pl.slots[w] = pl.slots[i]
-			w++
+func (pl *plan) probeLocalSortBody() error {
+	return pl.parForEach(pl.lsRanges, 1, (*plan).probeLocalSortRange)
+}
+
+func (pl *plan) probeLocalSortRange(ri int) {
+	slot := pl.ws.acquireArena()
+	ar := &pl.ws.lsArenas[slot]
+	kind := pl.cfg.LocalSort
+	for j := int(pl.lsBounds[ri]); j < int(pl.lsBounds[ri+1]); j++ {
+		bk := pl.buckets[pl.firstLight+j]
+		lo, hi := bk.off, bk.off+int64(bk.sz)
+		w := lo
+		for i := lo; i < hi; i++ {
+			if pl.occ[i] != 0 {
+				pl.slots[w] = pl.slots[i]
+				w++
+			}
 		}
+		cnt := int(w - lo)
+		pl.lightCnt[j] = int32(cnt)
+		ar.sortSeg(kind, pl.slots[lo:lo+int64(cnt)])
 	}
-	cnt := int(w - lo)
-	pl.lightCnt[j] = int32(cnt)
-	localSortSeg(pl.cfg.LocalSort, pl.slots[lo:lo+int64(cnt)])
+	pl.ws.releaseArena(slot)
 }
 
 // pack compacts the heavy region with the interval technique and copies

@@ -69,6 +69,24 @@ func (t *tracer) scatterSpan(attempt int, start time.Time, outcome string, strat
 	})
 }
 
+// localSortSpan closes a local-sort span like span(), additionally
+// attaching the Phase 4 kernel name and the number of size-aware bucket
+// ranges the schedule used.
+func (t *tracer) localSortSpan(attempt int, start time.Time, outcome string, kernel string, ranges int64) {
+	if t.obs == nil {
+		return
+	}
+	t.obs.PhaseEnd(obsv.Span{
+		Attempt:  attempt,
+		Phase:    obsv.PhaseLocalSort,
+		Start:    start.Sub(t.epoch),
+		Duration: time.Since(start),
+		Outcome:  outcome,
+		Kernel:   kernel,
+		Ranges:   ranges,
+	})
+}
+
 func (t *tracer) attemptStart(a obsv.Attempt) {
 	if t.obs != nil {
 		t.obs.AttemptStart(a)

@@ -47,6 +47,13 @@ type Workspace struct {
 	stageCnt  []uint8      // stageWorkers × nb fill counters, all-zero at rest
 	stageFree chan int     // free-list of staging slot indices
 
+	// Phase 4: per-worker local-sort arenas and the size-aware schedule's
+	// prefix-sum/boundary buffers (localsort.go).
+	lsArenas []lsArena
+	lsFree   chan int
+	lsCum    []int64
+	lsBounds []int32
+
 	// Phases 4–5: light compaction and packing.
 	lightCnt     []int32
 	lightOffsets []int32
@@ -176,6 +183,37 @@ func (w *Workspace) acquireStage() int { return <-w.stageFree }
 // have drained the slot's fill counters back to zero.
 func (w *Workspace) releaseStage(s int) { w.stageFree <- s }
 
+// ensureArenas sizes the Phase 4 arena pool for `workers` concurrent
+// local-sort ranges and refills its free-list. Arenas keep their grown
+// buffers across calls (that is the point); only the pool bookkeeping is
+// reset here.
+func (w *Workspace) ensureArenas(workers int) {
+	if cap(w.lsArenas) < workers {
+		arenas := make([]lsArena, workers)
+		copy(arenas, w.lsArenas)
+		w.lsArenas = arenas
+	}
+	w.lsArenas = w.lsArenas[:cap(w.lsArenas)]
+	if w.lsFree == nil || cap(w.lsFree) < workers {
+		w.lsFree = make(chan int, workers)
+	}
+	for len(w.lsFree) > 0 {
+		<-w.lsFree
+	}
+	for s := 0; s < workers; s++ {
+		w.lsFree <- s
+	}
+}
+
+// acquireArena blocks until a Phase 4 arena is free and claims it; same
+// buffered-channel free-list pattern as the staging slots (scalar channel
+// operations do not allocate, and the channel's happens-before edge hands
+// the arena's buffers cleanly between workers).
+func (w *Workspace) acquireArena() int { return <-w.lsFree }
+
+// releaseArena returns an arena to the free-list.
+func (w *Workspace) releaseArena(s int) { w.lsFree <- s }
+
 // RetainedBytes reports the scratch memory the workspace currently pins,
 // the quantity Config.MaxRetainedBytes caps. The heavy-key table and the
 // retained Shared output count; the boost map's few entries do not.
@@ -188,6 +226,14 @@ func (w *Workspace) RetainedBytes() int64 {
 	n += int64(cap(w.heavyRuns))*16 + int64(cap(w.buckets))*16
 	n += int64(cap(w.slots))*16 + int64(cap(w.occ))*4
 	n += int64(cap(w.stageBuf))*16 + int64(cap(w.stageCnt))
+	arenas := w.lsArenas[:cap(w.lsArenas)]
+	for i := range arenas {
+		ar := &arenas[i]
+		n += int64(cap(ar.labels)+cap(ar.labScratch)+cap(ar.counts)+
+			cap(ar.offs)+cap(ar.tabLabs)) * 4
+		n += int64(cap(ar.scratch))*16 + int64(cap(ar.tabKeys))*8
+	}
+	n += int64(cap(w.lsCum))*8 + int64(cap(w.lsBounds))*4
 	n += int64(cap(w.out)) * 16
 	if w.table != nil {
 		n += int64(w.table.Capacity()) * 16
@@ -207,6 +253,7 @@ func (w *Workspace) Release() {
 	w.slots, w.occ = nil, nil
 	w.hist, w.counts, w.cbase = nil, nil, nil
 	w.stageBuf, w.stageCnt, w.stageFree = nil, nil, nil
+	w.lsArenas, w.lsFree, w.lsCum, w.lsBounds = nil, nil, nil, nil
 	w.lightCnt, w.lightOffsets, w.packCounts = nil, nil, nil
 	w.out = nil
 }
@@ -231,6 +278,7 @@ func (w *Workspace) shrink(max int64) {
 		return
 	}
 	w.hist, w.stageBuf, w.stageCnt, w.stageFree = nil, nil, nil, nil
+	w.lsArenas, w.lsFree, w.lsCum, w.lsBounds = nil, nil, nil, nil
 	if w.RetainedBytes() <= max {
 		return
 	}

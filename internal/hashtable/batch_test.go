@@ -1,0 +1,131 @@
+package hashtable
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// TestLookupBatchMatchesScalar: LookupBatch is defined as len(keys)
+// independent Lookups; check that contract over present keys, absent
+// keys, the reserved Empty key, and every batch length around the
+// internal block size.
+func TestLookupBatchMatchesScalar(t *testing.T) {
+	const nkeys = 1 << 10
+	tb := New(nkeys)
+	rng := hash.NewRNG(42)
+	present := make([]uint64, 0, nkeys)
+	for i := 0; len(present) < nkeys; i++ {
+		k := rng.Rand(uint64(i))
+		if k == Empty {
+			continue
+		}
+		if tb.Insert(k, uint64(len(present))*3+1) {
+			present = append(present, k)
+		}
+	}
+
+	// A probe mix: hits, misses, and the reserved key.
+	probe := make([]uint64, 0, 4*nkeys)
+	for i, k := range present {
+		probe = append(probe, k)
+		probe = append(probe, rng.Rand(uint64(i)+1<<40)) // likely absent
+		if i%97 == 0 {
+			probe = append(probe, Empty)
+		}
+	}
+
+	for batch := 1; batch <= 40; batch++ {
+		for base := 0; base+batch <= len(probe); base += 131 {
+			keys := probe[base : base+batch]
+			vals := make([]uint64, batch)
+			ok := make([]bool, batch)
+			tb.LookupBatch(keys, vals, ok)
+			for i, k := range keys {
+				wv, wok := tb.Lookup(k)
+				if vals[i] != wv || ok[i] != wok {
+					t.Fatalf("batch %d key %#x: LookupBatch = (%d, %v), Lookup = (%d, %v)",
+						batch, k, vals[i], ok[i], wv, wok)
+				}
+			}
+		}
+	}
+}
+
+func TestLookupBatchEmptyAndZeroLength(t *testing.T) {
+	tb := New(8)
+	tb.Insert(0, 7) // key 0 is valid (only ^0 is reserved)
+	tb.LookupBatch(nil, nil, nil)
+	keys := []uint64{0, Empty, 5}
+	vals := make([]uint64, 3)
+	ok := make([]bool, 3)
+	tb.LookupBatch(keys, vals, ok)
+	if !ok[0] || vals[0] != 7 {
+		t.Errorf("key 0: got (%d, %v), want (7, true)", vals[0], ok[0])
+	}
+	if ok[1] || vals[1] != 0 {
+		t.Errorf("Empty key: got (%d, %v), want (0, false)", vals[1], ok[1])
+	}
+	if ok[2] {
+		t.Errorf("absent key: got present")
+	}
+}
+
+// benchTable builds a table of the given size (slots) filled to the given
+// load factor, returning it and a shuffled probe set of half hits, half
+// misses.
+func benchTable(size int, load float64) (*Table, []uint64) {
+	tb := New(size / 2) // New doubles: size slots exactly
+	if tb.Capacity() != size {
+		panic("benchTable: unexpected capacity")
+	}
+	rng := hash.NewRNG(7)
+	n := int(load * float64(size))
+	for i := 0; tb.Size() < n; i++ {
+		k := rng.Rand(uint64(i))
+		if k != Empty {
+			tb.Insert(k, k>>1)
+		}
+	}
+	probes := make([]uint64, 1<<14)
+	for i := range probes {
+		probes[i] = rng.Rand(uint64(i) + 1<<32) // ~all misses at these sizes
+		if i%2 == 0 {
+			probes[i] = rng.Rand(uint64(i / 2)) // a key inserted above (or skipped Empty)
+		}
+	}
+	return tb, probes
+}
+
+var loadFactors = []float64{0.25, 0.5, 0.75}
+
+func BenchmarkLookup(b *testing.B) {
+	for _, lf := range loadFactors {
+		b.Run(fmt.Sprintf("load=%.2f", lf), func(b *testing.B) {
+			tb, probes := benchTable(1<<16, lf)
+			b.SetBytes(8)
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				v, _ := tb.Lookup(probes[i&(len(probes)-1)])
+				sink += v
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkLookupBatch(b *testing.B) {
+	for _, lf := range loadFactors {
+		b.Run(fmt.Sprintf("load=%.2f", lf), func(b *testing.B) {
+			tb, probes := benchTable(1<<16, lf)
+			vals := make([]uint64, lookupBlockSize)
+			ok := make([]bool, lookupBlockSize)
+			b.SetBytes(8 * lookupBlockSize)
+			for i := 0; i < b.N; i++ {
+				base := (i * lookupBlockSize) & (len(probes) - 1 - lookupBlockSize)
+				tb.LookupBatch(probes[base:base+lookupBlockSize], vals, ok)
+			}
+		})
+	}
+}

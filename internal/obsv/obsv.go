@@ -144,6 +144,12 @@ type Span struct {
 	// Flushes counts the staging-buffer flushes the counting scatter
 	// performed; set on counting-strategy scatter spans only.
 	Flushes int64
+	// Kernel names the Phase 4 local-sort kernel of a localsort span —
+	// "hybrid", "counting" or "bucket"; empty on every other phase.
+	Kernel string
+	// Ranges is the number of size-aware bucket ranges the Phase 4
+	// schedule used; set on localsort spans only.
+	Ranges int64
 }
 
 // AttemptEnd reports how one attempt (or the fallback) finished.

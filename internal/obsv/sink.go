@@ -45,6 +45,8 @@ type jsonEvent struct {
 	Outcome           string  `json:"outcome,omitempty"`
 	Strategy          string  `json:"strategy,omitempty"`
 	Flushes           int64   `json:"flushes,omitempty"`
+	Kernel            string  `json:"kernel,omitempty"`
+	Ranges            int64   `json:"ranges,omitempty"`
 	OverflowedBuckets int     `json:"overflowed_buckets,omitempty"`
 }
 
@@ -66,7 +68,8 @@ func (s *JSONSink) PhaseStart(attempt int, ph Phase) {}
 func (s *JSONSink) PhaseEnd(sp Span) {
 	s.emit(jsonEvent{Event: "span", Attempt: sp.Attempt, Phase: sp.Phase.String(),
 		StartUS: sp.Start.Microseconds(), DurUS: sp.Duration.Microseconds(),
-		Outcome: sp.Outcome, Strategy: sp.Strategy, Flushes: sp.Flushes})
+		Outcome: sp.Outcome, Strategy: sp.Strategy, Flushes: sp.Flushes,
+		Kernel: sp.Kernel, Ranges: sp.Ranges})
 }
 
 func (s *JSONSink) AttemptEnd(e AttemptEnd) {

@@ -200,6 +200,49 @@ func ReduceMax[T Integer](procs int, a []T) T {
 	return m
 }
 
+// BalancedBounds fills bounds with contiguous range boundaries over
+// [0, len(cum)) such that each of the len(bounds)-1 ranges
+// [bounds[i], bounds[i+1]) carries a near-equal share of the total
+// weight, where cum is the inclusive prefix sum of the per-item weights.
+// Range i ends at the first item whose cumulative weight exceeds
+// i/parts of the total, found by binary search, so the cost is
+// O(parts·log n) with no allocation — cheap enough to run once per
+// phase on the semisort hot path. bounds[0] is always 0 and
+// bounds[len(bounds)-1] is always len(cum); boundaries are
+// non-decreasing, and a single item heavier than the per-range share
+// yields empty neighboring ranges rather than splitting the item.
+func BalancedBounds[T Integer](bounds []int32, cum []T) {
+	parts := len(bounds) - 1
+	if parts < 0 {
+		return
+	}
+	n := len(cum)
+	bounds[0] = 0
+	bounds[parts] = int32(n)
+	if parts <= 1 || n == 0 {
+		for i := 1; i < parts; i++ {
+			bounds[i] = int32(n)
+		}
+		return
+	}
+	total := int64(cum[n-1])
+	for i := 1; i < parts; i++ {
+		target := T(total * int64(i) / int64(parts))
+		// First j with cum[j] > target; ranges stay sorted since target
+		// is non-decreasing in i.
+		lo, hi := int(bounds[i-1]), n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if cum[mid] <= target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bounds[i] = int32(lo)
+	}
+}
+
 // Pack copies the elements of src whose flag is true into a new, dense
 // slice, preserving order. This is the "packing problem" from Section 2 of
 // the paper: a prefix sum over the flags followed by a scattered write.

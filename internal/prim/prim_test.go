@@ -334,3 +334,67 @@ func BenchmarkHistogram1M(b *testing.B) {
 		Histogram(0, n, 256, func(i int) int { return i & 255 })
 	}
 }
+
+func TestBalancedBounds(t *testing.T) {
+	check := func(name string, bounds []int32, cum []int64) {
+		t.Helper()
+		parts := len(bounds) - 1
+		if bounds[0] != 0 || bounds[parts] != int32(len(cum)) {
+			t.Fatalf("%s: endpoints %d..%d, want 0..%d", name, bounds[0], bounds[parts], len(cum))
+		}
+		for i := 1; i <= parts; i++ {
+			if bounds[i] < bounds[i-1] {
+				t.Fatalf("%s: bounds not monotone: %v", name, bounds)
+			}
+		}
+	}
+
+	// Uniform weights split evenly.
+	cum := make([]int64, 100)
+	for i := range cum {
+		cum[i] = int64(i + 1)
+	}
+	bounds := make([]int32, 5)
+	BalancedBounds(bounds, cum)
+	check("uniform", bounds, cum)
+	for i := 1; i < 4; i++ {
+		if got, want := bounds[i], int32(25*i); got != want {
+			t.Errorf("uniform bounds[%d] = %d, want %d", i, got, want)
+		}
+	}
+
+	// One dominant item gets a range to itself (neighbors may be empty).
+	w := []int64{1, 1, 1, 1000, 1, 1, 1}
+	cum2 := make([]int64, len(w))
+	run := int64(0)
+	for i, v := range w {
+		run += v
+		cum2[i] = run
+	}
+	bounds = make([]int32, 5)
+	BalancedBounds(bounds, cum2)
+	check("skewed", bounds, cum2)
+	// The heavy item must start its own range: a boundary lands right
+	// before it, so the preceding light items never wait behind it.
+	cut := false
+	for i := 1; i < 4; i++ {
+		if bounds[i] == 3 {
+			cut = true
+		}
+	}
+	if !cut {
+		t.Errorf("skewed: no boundary before heavy item 3: %v", bounds)
+	}
+
+	// Degenerate shapes.
+	bounds = []int32{-1, -1}
+	BalancedBounds(bounds, cum) // parts == 1: endpoints only
+	check("one-part", bounds, cum)
+	bounds = []int32{-1, -1, -1}
+	BalancedBounds(bounds, []int64{}) // empty cum
+	check("empty", bounds, nil)
+	BalancedBounds([]int32{}, cum) // zero parts: no-op
+	bounds = make([]int32, 9)
+	BalancedBounds(bounds, []int64{5}) // more parts than items
+	check("tiny", bounds, []int64{5})
+}

@@ -29,10 +29,14 @@ type Stats = core.Stats
 // construction, scatter, local sort, pack).
 type PhaseTimes = core.PhaseTimes
 
+// LocalSortKind selects the Phase 4 per-bucket kernel (see Config).
+type LocalSortKind = core.LocalSortKind
+
 // Local-sort and probing strategy options (see Config).
 const (
 	LocalSortHybrid   = core.LocalSortHybrid
 	LocalSortCounting = core.LocalSortCounting
+	LocalSortBucket   = core.LocalSortBucket
 	ProbeLinear       = core.ProbeLinear
 	ProbeRandom       = core.ProbeRandom
 )
