@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke fuzz check stress repro repro-quick examples clean
+.PHONY: all build vet test race cover bench bench-smoke fuzz check stress soak-smoke repro repro-quick examples clean
 
 all: build vet test
 
@@ -30,6 +30,14 @@ stress:
 	for p in 1 2 8; do \
 		GOMAXPROCS=$$p $(GO) test -race -count=3 -short ./internal/core/... ./internal/parallel/... || exit 1; \
 	done
+
+# soak-smoke mirrors the CI job of the same name: a short leak-gated soak
+# of the resident server under the race detector — mixed distributions,
+# SIGTERM mid-run, gates on p99/zero-drops/tenant-budgets/goroutines.
+# The full acceptance run is `go run ./cmd/soaksemi` with defaults (60s).
+soak-smoke:
+	$(GO) run -race ./cmd/soaksemi -duration 30s -concurrency 4 -pool 2 \
+		-batch 2048 -report SOAK_semisort.json
 
 cover:
 	$(GO) test -cover ./...

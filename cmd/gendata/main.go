@@ -7,6 +7,12 @@
 //	gendata -dist uniform -param 1e6 -n 1e6 -o uniform.bin
 //	gendata -dist zipfian -param 1e5 -n 1e7 -seed 3 -o zipf.bin
 //	gendata -dist exponential -param 1e3 -n 1e6 -stats
+//
+// Streaming mode emits length-prefixed record batches (the framing read
+// by `semisortd -pipe` and internal/rec.ReadFrame) instead of a flat
+// file, optionally paced to a target records-per-second rate:
+//
+//	gendata -stream -batch 8192 -rps 100000 -duration 10s | semisortd -pipe > sorted.bin
 package main
 
 import (
@@ -17,8 +23,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/distgen"
+	"repro/internal/rec"
 )
 
 func main() {
@@ -29,6 +37,11 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "generator seed")
 		out   = flag.String("o", "", "output file (default stdout)")
 		stats = flag.Bool("stats", false, "print distribution statistics instead of writing records")
+
+		stream   = flag.Bool("stream", false, "emit length-prefixed record batches instead of a flat file")
+		batch    = flag.Int("batch", 8192, "stream mode: records per batch")
+		rps      = flag.Float64("rps", 0, "stream mode: records per second (0 = unpaced)")
+		duration = flag.Duration("duration", 0, "stream mode: stop after this long (0 = emit -n records total)")
 	)
 	flag.Parse()
 
@@ -43,6 +56,10 @@ func main() {
 	nv, err := parseFloat(*n)
 	if err != nil || nv < 1 {
 		fatalf("bad -n: %v", err)
+	}
+
+	if *stream {
+		os.Exit(runStream(kind, pv, *seed, int64(nv), *batch, *rps, *duration, *out))
 	}
 
 	recs := distgen.Generate(0, int(nv), distgen.Spec{Kind: kind, Param: pv}, *seed)
@@ -87,6 +104,69 @@ func main() {
 			fatalf("write: %v", err)
 		}
 	}
+}
+
+// runStream emits length-prefixed record batches until either total
+// records have been written (-n, when -duration is 0) or the duration
+// elapses. With -rps > 0 the stream is paced against a global schedule
+// (batch i is due at i*batch/rps), so short stalls are caught up rather
+// than compounding.
+func runStream(kind distgen.Kind, param float64, seed uint64, total int64,
+	batch int, rps float64, duration time.Duration, out string) int {
+
+	if batch < 1 {
+		fmt.Fprintln(os.Stderr, "gendata: -batch must be >= 1")
+		return 2
+	}
+	var w *bufio.Writer
+	if out == "" {
+		w = bufio.NewWriterSize(os.Stdout, 1<<20)
+	} else {
+		f, err := os.Create(out)
+		if err != nil {
+			fatalf("create: %v", err)
+		}
+		defer f.Close()
+		w = bufio.NewWriterSize(f, 1<<20)
+	}
+
+	spec := distgen.Spec{Kind: kind, Param: param}
+	start := time.Now()
+	var written, batches int64
+	for {
+		if duration > 0 {
+			if time.Since(start) >= duration {
+				break
+			}
+		} else if written >= total {
+			break
+		}
+		n := batch
+		if duration == 0 && written+int64(n) > total {
+			n = int(total - written)
+		}
+		// Advance the generator offset each batch so the stream doesn't
+		// repeat the same records.
+		recs := distgen.Generate(int(written), n, spec, seed)
+		if err := rec.WriteFrame(w, recs); err != nil {
+			fatalf("write frame: %v", err)
+		}
+		written += int64(n)
+		batches++
+		if rps > 0 {
+			due := start.Add(time.Duration(float64(written) / rps * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatalf("flush: %v", err)
+	}
+	elapsed := time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "gendata: streamed %d records in %d batches (%.0f rec/s)\n",
+		written, batches, float64(written)/elapsed)
+	return 0
 }
 
 func parseKind(s string) (distgen.Kind, error) {

@@ -1,0 +1,165 @@
+// Command semisortd is the resident semisort/group-by service: a
+// long-running HTTP server that runs concurrent requests on a shared,
+// bounded pool of warm workspaces, with admission control, per-request
+// deadlines, per-tenant memory budgets, a non-blocking ring-buffer access
+// log, and graceful drain on SIGTERM/SIGINT.
+//
+// Serve mode (the default):
+//
+//	semisortd -addr :8080 -pool 4 -queue 16 -tenant-budget 256e6
+//
+// Endpoints: POST /v1/semisort (raw 16-byte records in, semisorted
+// records out), POST /v1/groupby (records in, JSON group summary out),
+// GET /v1/stats, GET /healthz. See README "Running as a service".
+//
+// Pipe mode bridges the same engine onto a Unix pipeline: length-prefixed
+// record batches (cmd/gendata -stream) on stdin, semisorted batches in
+// the same framing on stdout:
+//
+//	gendata -stream -rps 100000 -batch 8192 -duration 10s | semisortd -pipe > sorted.bin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	semisort "repro"
+	"repro/internal/rec"
+	"repro/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (serve mode)")
+		pool        = flag.Int("pool", 0, "workspace pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "admission wait-queue bound (0 = 4x pool)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGTERM")
+		maxBytes    = flag.Int64("max-bytes", 64<<20, "request body cap in bytes")
+		budget      = flag.Float64("tenant-budget", 256e6, "retained-scratch budget per tenant in bytes (<0 = uncapped)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 503")
+		logDest     = flag.String("access-log", "stderr", "access log destination: stderr, off, or a file path")
+		logCap      = flag.Int("log-capacity", 4096, "ring-buffer log capacity in entries")
+		traceFile   = flag.String("trace", "", "write per-request JSON spans to this file")
+		procs       = flag.Int("procs", 0, "semisort workers per request (0 = GOMAXPROCS)")
+		pipe        = flag.Bool("pipe", false, "pipe mode: framed batches stdin -> semisorted framed batches stdout")
+		maxRetained = flag.Float64("sorter-retained", 0, "pipe mode: MaxRetainedBytes for the sorter (0 = unlimited)")
+	)
+	flag.Parse()
+
+	if *pipe {
+		os.Exit(runPipe(*procs, int64(*maxRetained)))
+	}
+
+	cfg := server.Config{
+		PoolSize:            *pool,
+		MaxQueue:            *queue,
+		RequestTimeout:      *timeout,
+		DrainTimeout:        *drain,
+		RetryAfter:          *retryAfter,
+		MaxRequestBytes:     *maxBytes,
+		DefaultTenantBudget: int64(*budget),
+		LogCapacity:         *logCap,
+		Semisort:            semisort.Config{Procs: *procs},
+	}
+	switch *logDest {
+	case "off":
+	case "stderr", "":
+		cfg.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*logDest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("semisortd: open access log: %v", err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatalf("semisortd: create trace file: %v", err)
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
+
+	s := server.New(cfg)
+	drained, stop := s.HandleSignals(syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("semisortd: listening on %s (pool %d, queue %d, drain %s)",
+		*addr, s.Pool().Size(), *queue, *drain)
+	err := s.ListenAndServe(*addr)
+	if err != nil && err != http.ErrServerClosed {
+		log.Fatalf("semisortd: %v", err)
+	}
+	// The listener closed because a signal started a drain; wait for it
+	// to finish so every in-flight request has been answered.
+	if derr := <-drained; derr != nil {
+		log.Fatalf("semisortd: drain: %v", derr)
+	}
+	log.Printf("semisortd: drained cleanly")
+}
+
+// runPipe semisorts length-prefixed record batches from stdin to stdout
+// on one warm sorter. SIGTERM/SIGINT finish the batch in flight, then
+// exit cleanly; a truncated input stream is an error.
+func runPipe(procs int, maxRetained int64) int {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	cfg := semisort.Config{Procs: procs, MaxRetainedBytes: maxRetained}
+	sorter := semisort.NewSorter(&cfg)
+	in := bufio.NewReaderSize(os.Stdin, 1<<20)
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	var batch []semisort.Record
+	var batches, records int64
+
+	for {
+		select {
+		case sig := <-sigs:
+			flushPipe(out, batches, records, fmt.Sprintf("signal %v", sig))
+			return 0
+		default:
+		}
+		var err error
+		batch, err = rec.ReadFrame(in, batch[:0])
+		if err == io.EOF {
+			flushPipe(out, batches, records, "EOF")
+			return 0
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semisortd: -pipe: %v\n", err)
+			return 1
+		}
+		sorted, err := sorter.SortShared(batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semisortd: -pipe: semisort: %v\n", err)
+			return 1
+		}
+		if err := rec.WriteFrame(out, sorted); err != nil {
+			fmt.Fprintf(os.Stderr, "semisortd: -pipe: %v\n", err)
+			return 1
+		}
+		batches++
+		records += int64(len(sorted))
+	}
+}
+
+func flushPipe(out *bufio.Writer, batches, records int64, why string) {
+	if err := out.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "semisortd: -pipe: flush: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "semisortd: -pipe: %d batches, %d records (%s)\n",
+		batches, records, why)
+}

@@ -1,0 +1,82 @@
+package external
+
+import (
+	"errors"
+	"testing"
+
+	semisort "repro"
+)
+
+// Close lifecycle regressions: a second Close must be a no-op, and every
+// spill operation after Close must fail with a wrapped ErrClosed — never
+// a panic on closed files or a silent write to a removed spill dir.
+
+func TestShufflerDoubleClose(t *testing.T) {
+	s, err := NewShuffler(&Config{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(semisort.Record{Key: 1, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+}
+
+func TestShufflerAddAfterClose(t *testing.T) {
+	s, err := NewShuffler(&Config{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = s.Add(semisort.Record{Key: 1, Value: 2})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add after Close: err = %v, want wrapped ErrClosed", err)
+	}
+	err = s.AddBatch([]semisort.Record{{Key: 3, Value: 4}})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("AddBatch after Close: err = %v, want wrapped ErrClosed", err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("Len after rejected adds = %d, want 0", n)
+	}
+}
+
+func TestShufflerForEachGroupThenClose(t *testing.T) {
+	// ForEachGroup closes the shuffler itself; an explicit Close after it
+	// (the common defer pattern) must still be fine, and further Adds
+	// must report ErrClosed.
+	s, err := NewShuffler(&Config{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Add(semisort.Record{Key: uint64(i % 10), Value: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int
+	err = s.ForEachGroup(func(key uint64, recs []semisort.Record) error {
+		total += len(recs)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 100 {
+		t.Fatalf("grouped %d records, want 100", total)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after ForEachGroup: %v", err)
+	}
+	if err := s.Add(semisort.Record{Key: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add after ForEachGroup: err = %v, want wrapped ErrClosed", err)
+	}
+}

@@ -58,6 +58,19 @@ const (
 	// occurrences count counting-path scatter blocks that had staging
 	// available.
 	StageFlush
+	// ServerAccept fails a semisortd request at the accept/decode stage,
+	// before admission, as if the body could not be read; occurrences
+	// count requests reaching the accept check.
+	ServerAccept
+	// ServerAdmission forces the semisortd admission controller to
+	// report a full queue, shedding the request with 503 + Retry-After;
+	// occurrences count admission attempts.
+	ServerAdmission
+	// ServerHandlerPanic panics inside a semisortd request handler while
+	// it holds a pool workspace, exercising the recover + workspace
+	// discard + pool-recycle path; occurrences count requests that
+	// acquired a workspace.
+	ServerHandlerPanic
 
 	numPoints
 )
@@ -71,6 +84,9 @@ var pointNames = [numPoints]string{
 	"spill-read",
 	"phase-boundary",
 	"stage-flush",
+	"server-accept",
+	"server-admission",
+	"server-handler-panic",
 }
 
 func (p Point) String() string {

@@ -1,0 +1,38 @@
+package obsv
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPoolGaugesSnapshot(t *testing.T) {
+	var g PoolGauges
+	g.QueueDepth.Store(3)
+	g.Active.Add(2)
+	g.Admissions.Add(10)
+	g.Rejections.Add(4)
+	g.Timeouts.Add(1)
+	g.Panics.Add(1)
+	g.Discards.Add(2)
+	g.Drains.Add(1)
+	g.RetainedBytes.Store(1 << 20)
+
+	s := g.Snapshot()
+	want := PoolSnapshot{QueueDepth: 3, Active: 2, Admissions: 10, Rejections: 4,
+		Timeouts: 1, Panics: 1, Discards: 2, Drains: 1, RetainedBytes: 1 << 20}
+	if s != want {
+		t.Fatalf("Snapshot = %+v, want %+v", s, want)
+	}
+
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PoolSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != want {
+		t.Fatalf("JSON round trip = %+v, want %+v", back, want)
+	}
+}

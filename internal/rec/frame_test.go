@@ -1,0 +1,91 @@
+package rec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	batches := [][]Record{
+		nil,
+		{{Key: 1, Value: 2}},
+		make([]Record, 10000),
+	}
+	for i := range batches[2] {
+		batches[2][i] = Record{Key: uint64(i % 37), Value: uint64(i)}
+	}
+
+	var buf bytes.Buffer
+	for _, b := range batches {
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+
+	for i, want := range batches {
+		got, err := ReadFrame(&buf, nil)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("frame %d: got %d records, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("frame %d record %d: got %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if _, err := ReadFrame(&buf, nil); err != io.EOF {
+		t.Fatalf("at end of stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameAppendsToDst(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []Record{{Key: 7, Value: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	dst := []Record{{Key: 1, Value: 1}}
+	out, err := ReadFrame(&buf, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != (Record{Key: 1, Value: 1}) || out[1] != (Record{Key: 7, Value: 8}) {
+		t.Fatalf("ReadFrame did not append: %+v", out)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]Record, 100)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Cut inside the payload: ErrUnexpectedEOF, not a clean EOF.
+	_, err := ReadFrame(bytes.NewReader(full[:4+50*RecordSize+3]), nil)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("payload cut: err = %v, want ErrUnexpectedEOF", err)
+	}
+	// Cut inside the header: also an error, not EOF.
+	_, err = ReadFrame(bytes.NewReader(full[:2]), nil)
+	if err == nil || errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("header cut: err = %v, want unexpected-EOF error", err)
+	}
+}
+
+func TestFrameRejectsHugeHeader(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr), nil); err == nil {
+		t.Fatal("4-billion-record header accepted")
+	}
+}
+
+func TestDecodeRecordsBadLength(t *testing.T) {
+	if _, err := DecodeRecords(nil, make([]byte, 17)); err == nil {
+		t.Fatal("17-byte payload accepted")
+	}
+}

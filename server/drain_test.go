@@ -1,0 +1,86 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestDrainOverrunCancelsStragglers pins the drain ladder's second rung:
+// a request that cannot finish within DrainTimeout is canceled
+// cooperatively (via the server base context feeding Config.Context) and
+// still receives a response — 503, not a dropped connection.
+func TestDrainOverrunCancelsStragglers(t *testing.T) {
+	s := New(Config{PoolSize: 1, DrainTimeout: 50 * time.Millisecond})
+	ln := newLocalListener(t)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+
+	// Block the sort at its first phase boundary until the drain has
+	// overrun and canceled the base context.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	inj := fault.New(1).Arm(fault.PhaseBoundary, 0, 1)
+	inj.OnFire(fault.PhaseBoundary, func() {
+		close(entered)
+		<-release
+	})
+	fault.Enable(inj)
+	defer fault.Disable()
+
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/semisort",
+			"application/octet-stream", bytes.NewReader(encodeRecords(genRecords(50_000, 9))))
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+
+	<-entered // the sort is in flight and stuck
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+
+	// Once the drain deadline overruns, Shutdown cancels the base
+	// context; only then unblock the sort so it observes the cancel at
+	// its phase gate.
+	select {
+	case <-s.baseCtx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never canceled the base context")
+	}
+	close(release)
+
+	select {
+	case err := <-errCh:
+		t.Fatalf("in-flight request dropped without a response: %v", err)
+	case resp := <-respCh:
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503 (canceled by drain)", resp.StatusCode)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("request never completed")
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+	if g := s.pool.Gauges().Drains.Load(); g != 1 {
+		t.Fatalf("Drains = %d, want 1", g)
+	}
+	if g := s.pool.Gauges().Active.Load(); g != 0 {
+		t.Fatalf("Active = %d, want 0", g)
+	}
+}

@@ -1,0 +1,284 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	semisort "repro"
+	"repro/internal/fault"
+	"repro/internal/obsv"
+	"repro/internal/rec"
+)
+
+// sortResult is what one admitted request produced: the semisorted
+// records (a view into the worker's shared output buffer, valid until
+// Release), the sort stats, and how it failed if it did.
+type sortResult struct {
+	out      []semisort.Record
+	stats    semisort.Stats
+	err      error
+	panicked bool
+	panicVal any
+}
+
+// runSort executes the semisort on wk's workspace, converting a handler
+// panic (including the injected ServerHandlerPanic) into a result instead
+// of letting it unwind into net/http — net/http would recover it too, but
+// then the connection dies without a response and the worker would leak.
+func (s *Server) runSort(ctx context.Context, wk *Worker, tenant string, recs []semisort.Record) (res sortResult) {
+	defer func() {
+		if v := recover(); v != nil {
+			res.panicked, res.panicVal = true, v
+		}
+	}()
+	if fault.Should(fault.ServerHandlerPanic) {
+		panic(fault.PanicValue)
+	}
+	cfg := s.cfg.Semisort
+	cfg.Context = ctx
+	cfg.MaxRetainedBytes = s.pool.workerBudget(tenant)
+	// SortShared: the output lives in the workspace (zero allocations in
+	// steady state) and is written to the response before Release; the
+	// retained-bytes budget covers it like any other scratch buffer.
+	out, st, err := wk.sorter.SortConfigShared(recs, &cfg)
+	res.out, res.stats, res.err = out, st, err
+	return res
+}
+
+// request is the per-request state threaded through the common pipeline
+// shared by the record-out and JSON-out endpoints.
+type request struct {
+	span    obsv.RequestSpan
+	tenant  string
+	recs    []semisort.Record
+	started time.Time
+}
+
+// accept runs the shared front half of every sort endpoint: fault check,
+// tenant/deadline extraction, body decode. It returns a nil request after
+// writing an error response itself.
+func (s *Server) accept(w http.ResponseWriter, r *http.Request) (*request, context.Context, context.CancelFunc) {
+	req := &request{started: time.Now()}
+	req.span = obsv.RequestSpan{
+		Seq:   s.seq.Add(1),
+		Start: req.started,
+		Path:  r.URL.Path,
+	}
+	if s.draining.Load() {
+		s.finish(w, req, http.StatusServiceUnavailable, obsv.ReqShed, "draining")
+		return nil, nil, nil
+	}
+	if fault.Should(fault.ServerAccept) {
+		s.finish(w, req, http.StatusInternalServerError, obsv.ReqError, "injected accept fault")
+		return nil, nil, nil
+	}
+	req.tenant = r.Header.Get("X-Semisort-Tenant")
+	if req.tenant == "" {
+		req.tenant = r.URL.Query().Get("tenant")
+	}
+	req.span.Tenant = req.tenant
+
+	timeout := s.cfg.RequestTimeout
+	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+		v, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || v <= 0 {
+			s.finish(w, req, http.StatusBadRequest, obsv.ReqBadInput, "bad timeout_ms")
+			return nil, nil, nil
+		}
+		if d := time.Duration(v) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.finish(w, req, status, obsv.ReqBadInput, fmt.Sprintf("read body: %v", err))
+		return nil, nil, nil
+	}
+	req.span.BytesIn = int64(len(body))
+	req.recs, err = rec.DecodeRecords(nil, body)
+	if err != nil {
+		s.finish(w, req, http.StatusBadRequest, obsv.ReqBadInput, err.Error())
+		return nil, nil, nil
+	}
+	req.span.Records = len(req.recs)
+
+	// The request context combines the server base context (drain), the
+	// client connection (disconnect) and the per-request deadline.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return req, ctx, cancel
+}
+
+// sortThrough runs admission + sort for req and hands the result to emit
+// while the worker is still held (the output aliases its workspace).
+// emit must write the success response; sortThrough writes every error
+// response itself.
+func (s *Server) sortThrough(w http.ResponseWriter, req *request, ctx context.Context,
+	emit func(res sortResult) (bytesOut int64, err error)) {
+
+	queueStart := time.Now()
+	wk, err := s.pool.Acquire(ctx)
+	req.span.QueueWaitUS = time.Since(queueStart).Microseconds()
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.999)))
+			s.finish(w, req, http.StatusServiceUnavailable, obsv.ReqShed, "admission queue full")
+		case s.baseCtx.Err() != nil:
+			s.pool.Gauges().Drains.Add(1)
+			s.finish(w, req, http.StatusServiceUnavailable, obsv.ReqCanceled, "server draining")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.finish(w, req, http.StatusGatewayTimeout, obsv.ReqTimeout, "deadline exceeded in queue")
+		default:
+			s.finish(w, req, 0, obsv.ReqCanceled, "client gone while queued")
+		}
+		return
+	}
+
+	sortStart := time.Now()
+	res := s.runSort(ctx, wk, req.tenant, req.recs)
+	req.span.SortUS = time.Since(sortStart).Microseconds()
+
+	if res.panicked {
+		// The workspace was abandoned mid-sort; discard its buffers so a
+		// possibly half-written scratch state never serves another
+		// request, and recycle the slot — the pool is not poisoned.
+		s.pool.Gauges().Panics.Add(1)
+		s.pool.Release(wk, req.tenant, true)
+		s.finish(w, req, http.StatusInternalServerError, obsv.ReqPanic,
+			fmt.Sprintf("handler panic: %v", res.panicVal))
+		return
+	}
+
+	if res.err != nil {
+		s.pool.Release(wk, req.tenant, false)
+		switch {
+		case s.baseCtx.Err() != nil:
+			s.pool.Gauges().Drains.Add(1)
+			s.finish(w, req, http.StatusServiceUnavailable, obsv.ReqCanceled, "canceled by drain")
+		case errors.Is(res.err, context.DeadlineExceeded):
+			s.pool.Gauges().Timeouts.Add(1)
+			s.finish(w, req, http.StatusGatewayTimeout, obsv.ReqTimeout, "deadline exceeded")
+		case errors.Is(res.err, context.Canceled):
+			s.pool.Gauges().Timeouts.Add(1)
+			s.finish(w, req, 0, obsv.ReqCanceled, "client disconnected")
+		default:
+			// A real sort failure (e.g. overflow exhaustion with the
+			// fallback disabled): clean 500, workspace already recycled.
+			s.finish(w, req, http.StatusInternalServerError, obsv.ReqError, res.err.Error())
+		}
+		return
+	}
+
+	req.span.Attempts = res.stats.Attempts
+	req.span.FallbackUsed = res.stats.FallbackUsed
+	n, werr := emit(res)
+	req.span.BytesOut = n
+	s.pool.Release(wk, req.tenant, false)
+	if werr != nil {
+		// The sort succeeded but the client went away mid-response; log
+		// it — there is nobody left to send a status to.
+		req.span.Status = http.StatusOK
+		req.span.Outcome = obsv.ReqCanceled
+		req.span.TotalUS = time.Since(req.started).Microseconds()
+		s.trace(req.span)
+		return
+	}
+	req.span.Status = http.StatusOK
+	req.span.Outcome = obsv.ReqOK
+	req.span.TotalUS = time.Since(req.started).Microseconds()
+	s.trace(req.span)
+}
+
+// finish writes an error (or shed) response and logs the span. A zero
+// status means the client is already gone and nothing is written.
+func (s *Server) finish(w http.ResponseWriter, req *request, status int, outcome, msg string) {
+	if status != 0 {
+		http.Error(w, msg, status)
+	}
+	req.span.Status = status
+	req.span.Outcome = outcome
+	req.span.TotalUS = time.Since(req.started).Microseconds()
+	s.trace(req.span)
+}
+
+// handleSemisort is POST /v1/semisort: raw 16-byte records in, the same
+// records semisorted out.
+func (s *Server) handleSemisort(w http.ResponseWriter, r *http.Request) {
+	req, ctx, cancel := s.accept(w, r)
+	if req == nil {
+		return
+	}
+	defer cancel()
+	s.sortThrough(w, req, ctx, func(res sortResult) (int64, error) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(res.out)*rec.RecordSize))
+		var written int64
+		const chunk = 4096
+		buf := make([]byte, 0, chunk*rec.RecordSize)
+		out := res.out
+		for len(out) > 0 {
+			n := min(len(out), chunk)
+			buf = rec.AppendRecords(buf[:0], out[:n])
+			m, err := w.Write(buf)
+			written += int64(m)
+			if err != nil {
+				return written, err
+			}
+			out = out[n:]
+		}
+		return written, nil
+	})
+}
+
+// groupSummary is the POST /v1/groupby response shape.
+type groupSummary struct {
+	Records   int    `json:"records"`
+	Groups    int    `json:"groups"`
+	MaxGroup  int    `json:"max_group"`
+	Attempts  int    `json:"attempts"`
+	Fallback  bool   `json:"fallback,omitempty"`
+	HeavyKeys int    `json:"heavy_keys"`
+	Tenant    string `json:"tenant,omitempty"`
+}
+
+// handleGroupBy is POST /v1/groupby: raw records in, a JSON group-by
+// summary out (group count, largest group, recovery footprint) — the
+// collect-style endpoint for clients that want aggregates, not bytes.
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	req, ctx, cancel := s.accept(w, r)
+	if req == nil {
+		return
+	}
+	defer cancel()
+	s.sortThrough(w, req, ctx, func(res sortResult) (int64, error) {
+		sum := groupSummary{
+			Records:   len(res.out),
+			Attempts:  res.stats.Attempts,
+			Fallback:  res.stats.FallbackUsed,
+			HeavyKeys: res.stats.HeavyKeys,
+			Tenant:    req.tenant,
+		}
+		rec.Runs(res.out, func(start, end int) {
+			sum.Groups++
+			if end-start > sum.MaxGroup {
+				sum.MaxGroup = end - start
+			}
+		})
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(sum)
+		n, err := w.Write(append(b, '\n'))
+		return int64(n), err
+	})
+}

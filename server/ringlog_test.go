@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+func TestRingLogDeliversAllWhenNotFull(t *testing.T) {
+	var buf syncBuffer
+	l := NewRingLog(1024, &buf)
+	const n = 500
+	for i := 0; i < n; i++ {
+		l.Push(obsv.RequestSpan{Seq: int64(i), Path: "/v1/semisort", Status: 200, Outcome: obsv.ReqOK})
+	}
+	l.Close()
+	if got := strings.Count(buf.String(), "\n"); got != n {
+		t.Fatalf("got %d log lines, want %d", got, n)
+	}
+	if l.Drops() != 0 {
+		t.Fatalf("Drops = %d, want 0", l.Drops())
+	}
+	if !strings.Contains(buf.String(), "path=/v1/semisort") {
+		t.Fatalf("log line format unexpected:\n%s", buf.String()[:200])
+	}
+}
+
+func TestRingLogNeverBlocksAndCountsDrops(t *testing.T) {
+	// No consumer progress: blockWriter stalls the consumer on its first
+	// write, so producers must drop once the ring fills — but never block.
+	bw := &blockWriter{release: make(chan struct{})}
+	l := NewRingLog(64, bw)
+	const producers, per = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Push(obsv.RequestSpan{Seq: int64(p*per + i)})
+			}
+		}(p)
+	}
+	wg.Wait() // would deadlock here if Push ever blocked
+	close(bw.release)
+	l.Close()
+	delivered := bw.Count()
+	if delivered+int(l.Drops()) != producers*per {
+		t.Fatalf("delivered %d + dropped %d != pushed %d",
+			delivered, l.Drops(), producers*per)
+	}
+	if l.Drops() == 0 {
+		t.Fatal("expected drops with a stalled consumer and a 64-slot ring")
+	}
+}
+
+func TestRingLogCloseIsIdempotent(t *testing.T) {
+	l := NewRingLog(64, nil)
+	l.Push(obsv.RequestSpan{Seq: 1})
+	l.Close()
+	l.Close()
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer (the consumer goroutine
+// writes; the test reads after Close).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// blockWriter blocks its first Write until released, then counts lines.
+type blockWriter struct {
+	release chan struct{}
+	mu      sync.Mutex
+	n       int
+}
+
+func (w *blockWriter) Write(p []byte) (int, error) {
+	<-w.release
+	w.mu.Lock()
+	w.n += strings.Count(string(p), "\n")
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+func (w *blockWriter) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	semisort "repro"
+	"repro/internal/distgen"
+	"repro/internal/rec"
+)
+
+func encodeRecords(recs []semisort.Record) []byte {
+	return rec.AppendRecords(nil, recs)
+}
+
+func genRecords(n int, seed uint64) []semisort.Record {
+	return distgen.Generate(0, n, distgen.Spec{Kind: distgen.Zipfian, Param: 1e4}, seed)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.log.Close()
+	})
+	return s, ts
+}
+
+func postRecords(t *testing.T, url string, body []byte, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSemisortEndpointRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 2})
+	in := genRecords(10_000, 7)
+
+	resp := postRecords(t, ts.URL+"/v1/semisort", encodeRecords(in), nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rec.DecodeRecords(nil, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.SamePermutation(in, out) {
+		t.Fatal("response is not a permutation of the input")
+	}
+	if !rec.IsSemisorted(out) {
+		t.Fatal("response is not semisorted")
+	}
+}
+
+func TestGroupByEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 1})
+	// 100 records, 10 distinct keys, 10 each.
+	in := make([]semisort.Record, 100)
+	for i := range in {
+		in[i] = semisort.Record{Key: uint64(i % 10), Value: uint64(i)}
+	}
+	resp := postRecords(t, ts.URL+"/v1/groupby", encodeRecords(in),
+		map[string]string{"X-Semisort-Tenant": "t9"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var sum groupSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 100 || sum.Groups != 10 || sum.MaxGroup != 10 || sum.Tenant != "t9" {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 1, MaxRequestBytes: 1024})
+
+	resp := postRecords(t, ts.URL+"/v1/semisort", []byte("not-16-byte-aligned"), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("misaligned body: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postRecords(t, ts.URL+"/v1/semisort", make([]byte, 4096), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+
+	resp = postRecords(t, ts.URL+"/v1/semisort?timeout_ms=bogus", nil, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRequestDeadlineCancelsSort(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 1})
+	in := genRecords(500_000, 3)
+	// 1 ms is far below the sort time for 500k records; the deadline
+	// must cut the sort mid-phase and yield 504.
+	resp := postRecords(t, ts.URL+"/v1/semisort?timeout_ms=1", encodeRecords(in), nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, b)
+	}
+}
+
+func TestClientDisconnectCancelsRequest(t *testing.T) {
+	s, ts := newTestServer(t, Config{PoolSize: 1})
+	in := genRecords(500_000, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/semisort",
+		bytes.NewReader(encodeRecords(in)))
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := http.DefaultClient.Do(req)
+	if err == nil {
+		t.Skip("request finished before the cancel landed")
+	}
+	// The handler must notice and release the worker; the pool must be
+	// fully idle again shortly after.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.Gauges().Active.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker still active after client disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 2, DefaultTenantBudget: 1 << 20})
+	in := genRecords(50_000, 5)
+	for i := 0; i < 3; i++ {
+		resp := postRecords(t, ts.URL+"/v1/semisort?tenant=acme", encodeRecords(in), nil)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pool.Admissions != 3 {
+		t.Fatalf("Admissions = %d, want 3", st.Pool.Admissions)
+	}
+	ten, ok := st.Tenants["acme"]
+	if !ok {
+		t.Fatalf("tenant acme missing from stats: %+v", st.Tenants)
+	}
+	if ten.BudgetBytes != 1<<20 {
+		t.Fatalf("budget = %d, want %d", ten.BudgetBytes, 1<<20)
+	}
+	if ten.RetainedBytes <= 0 || ten.RetainedBytes > ten.BudgetBytes {
+		t.Fatalf("retained %d outside (0, budget=%d]", ten.RetainedBytes, ten.BudgetBytes)
+	}
+	if st.Requests != 3 {
+		t.Fatalf("Requests = %d, want 3", st.Requests)
+	}
+}
+
+func TestHealthAndDrainingFlag(t *testing.T) {
+	s, ts := newTestServer(t, Config{PoolSize: 1, DrainTimeout: time.Second})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	s.draining.Store(true)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	// New sort requests are shed while draining.
+	resp = postRecords(t, ts.URL+"/v1/semisort", encodeRecords(genRecords(100, 1)), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sort while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight runs the server on a real listener,
+// holds several sorts in flight, triggers Shutdown concurrently, and
+// verifies every in-flight request still got a well-formed response.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	s := New(Config{PoolSize: 2, MaxQueue: 16, DrainTimeout: 10 * time.Second})
+	ln := newLocalListener(t)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	in := encodeRecords(genRecords(200_000, 6))
+	const flights = 6
+	var wg sync.WaitGroup
+	statuses := make([]int, flights)
+	errs := make([]error, flights)
+	for i := 0; i < flights; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/semisort", "application/octet-stream", bytes.NewReader(in))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	// Let the requests reach the server, then drain.
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	for i := 0; i < flights; i++ {
+		if errs[i] != nil {
+			t.Errorf("request %d dropped without a response: %v", i, errs[i])
+		} else if statuses[i] != http.StatusOK && statuses[i] != http.StatusServiceUnavailable {
+			t.Errorf("request %d: status %d, want 200 or 503", i, statuses[i])
+		}
+	}
+	if g := s.pool.Gauges().Active.Load(); g != 0 {
+		t.Fatalf("Active = %d after drain, want 0", g)
+	}
+}
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}

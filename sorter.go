@@ -70,6 +70,16 @@ func (s *Sorter) SortConfig(a []Record, cfg *Config) ([]Record, Stats, error) {
 	return core.SemisortWS(&s.ws, a, cfg)
 }
 
+// SortConfigShared combines SortShared and SortConfig: a one-off
+// configuration with the output written to a Sorter-owned buffer, so a
+// steady-state caller allocates nothing. The returned slice is only valid
+// until the next call on this Sorter. This is what a per-request server
+// wants: the base configuration overlaid with the request's context and
+// retention budget, and zero allocation per request.
+func (s *Sorter) SortConfigShared(a []Record, cfg *Config) ([]Record, Stats, error) {
+	return core.SemisortShared(&s.ws, a, cfg)
+}
+
 // Release drops every retained scratch buffer (including a SortShared
 // output), returning the Sorter to its zero memory footprint. The Sorter
 // remains usable; the next sort regrows what it needs.
