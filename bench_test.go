@@ -16,6 +16,7 @@
 //	BenchmarkFig4_*     — per-algorithm size sweeps
 //	BenchmarkFig5_*     — semisort vs scatter+pack floor
 //	BenchmarkAblation_* — p, δ, bucket-count, merging, probing, local sort
+//	BenchmarkReduce_*   — fused collect-reduce vs materialize-then-reduce
 //
 // Input sizes default to 2^18 records (the paper uses 10^8; see
 // EXPERIMENTS.md for the scale-down rationale).
@@ -509,6 +510,92 @@ func BenchmarkAPI_CountBy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := CountBy(items, func(v int) int { return v }, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fused collect-reduce (`-experiment reduce`, docs/AGGREGATION.md): the
+// fused record-level entry points per strategy, against the
+// materialize-then-reduce shape they replace.
+
+func benchReduceShared(b *testing.B, spec distgen.Spec, strat core.ScatterStrategy, histogram bool) {
+	b.Helper()
+	a := workload(benchN, spec, 1)
+	var ws core.Workspace
+	sp := core.ReduceSpec{
+		Fold:  func(acc, _, v uint64) uint64 { return acc + v },
+		Merge: func(x, _, y, _ uint64) uint64 { return x + y },
+	}
+	b.SetBytes(int64(len(a)) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := &core.Config{Seed: 9, ScatterStrategy: strat}
+		var err error
+		if histogram {
+			_, _, _, err = core.HistogramShared(&ws, a, cfg)
+		} else {
+			_, _, _, err = core.ReduceShared(&ws, a, cfg, sp)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(a))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+}
+
+func BenchmarkReduce_FusedProbing(b *testing.B) {
+	benchReduceShared(b, expSpec(benchN), core.ScatterProbing, false)
+}
+
+func BenchmarkReduce_FusedCounting(b *testing.B) {
+	benchReduceShared(b, expSpec(benchN), core.ScatterCounting, false)
+}
+
+func BenchmarkReduce_HistogramCounting(b *testing.B) {
+	benchReduceShared(b, expSpec(benchN), core.ScatterCounting, true)
+}
+
+func BenchmarkReduce_Materialized(b *testing.B) {
+	a := workload(benchN, expSpec(benchN), 1)
+	var ws core.Workspace
+	var groups []rec.Record
+	b.SetBytes(int64(len(a)) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := core.SemisortShared(&ws, a, &core.Config{Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups = groups[:0]
+		for j := 0; j < len(out); {
+			k, acc := out[j].Key, out[j].Value
+			e := j + 1
+			for e < len(out) && out[e].Key == k {
+				acc += out[e].Value
+				e++
+			}
+			groups = append(groups, rec.Record{Key: k, Value: acc})
+			j = e
+		}
+	}
+	b.ReportMetric(float64(len(a))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+}
+
+func BenchmarkAPI_ReduceBy(b *testing.B) {
+	items := make([]int, benchN)
+	for i := range items {
+		items[i] = i % 1000
+	}
+	red := Reduction[int, int]{
+		Fold:  func(acc int, v int) int { return acc + v },
+		Merge: func(x, y int) int { return x + y },
+	}
+	b.SetBytes(int64(len(items)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReduceBy(items, func(v int) int { return v }, red, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

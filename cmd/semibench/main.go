@@ -13,7 +13,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5
 // seqbaselines rrcompare schedulers ablation scatter faults observe reuse
-// localsort all.
+// localsort reduce all.
 package main
 
 import (
@@ -46,13 +46,14 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 	"observe":      bench.RunObserve,
 	"reuse":        bench.RunReuse,
 	"localsort":    bench.RunLocalSort,
+	"reduce":       bench.RunReduce,
 }
 
 // order fixes a deterministic run order for -experiment all.
 var order = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "seqbaselines", "rrcompare", "schedulers", "ablation",
-	"scatter", "faults", "observe", "reuse", "localsort",
+	"scatter", "faults", "observe", "reuse", "localsort", "reduce",
 }
 
 func main() {

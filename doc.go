@@ -32,6 +32,20 @@
 // and packs everything into one contiguous output. See DESIGN.md and the
 // internal/core package for the full construction.
 //
+// # Fused aggregation
+//
+// When the caller wants one accumulator per group rather than the groups
+// themselves, the aggregation helpers fold during the semisort instead of
+// materializing the grouped array: heavy keys accumulate into per-worker
+// cells merged once at pack time, light buckets reduce in place. CountBy,
+// SumBy and Distinct are always fused; ReduceBy fuses when given a Merge
+// (Identity/Fold/Merge must form a commutative monoid — with Merge nil it
+// reduces over materialized groups, the right mode for order-sensitive
+// folds, which is also why MaxBy never fuses). ReduceRecords and
+// Histogram are the record-level forms, and a Sorter's ReduceShared/
+// HistogramShared run them with zero steady-state allocations. See
+// docs/AGGREGATION.md for semantics, determinism and memory guarantees.
+//
 // # Failure model
 //
 // All entry points are panic-safe and cancellable: a panic on a parallel

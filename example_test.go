@@ -96,6 +96,113 @@ func ExampleStableBy() {
 	// Output: stable: true
 }
 
+// ExampleReduceBy folds values into per-group accumulators during the
+// semisort itself (fused collect-reduce; see docs/AGGREGATION.md).
+// Fold builds per-worker partial results and Merge combines them, so the
+// pair must be commutative — leave Merge nil for order-sensitive folds
+// and the reduction runs over materialized groups instead.
+func ExampleReduceBy() {
+	type reading struct {
+		sensor  string
+		celsius int
+	}
+	readings := []reading{
+		{"roof", 21}, {"lab", 19}, {"roof", 25}, {"lab", 18}, {"roof", 23},
+	}
+	// Per sensor: the maximum reading, reduced without ever building the
+	// per-sensor groups.
+	maxC, _ := semisort.ReduceBy(readings,
+		func(r reading) string { return r.sensor },
+		semisort.Reduction[reading, int]{
+			Identity: -1 << 31,
+			Fold:     func(acc int, r reading) int { return max(acc, r.celsius) },
+			Merge:    func(a, b int) int { return max(a, b) },
+		}, nil)
+	fmt.Println(maxC["roof"], maxC["lab"])
+	// Output: 25 19
+}
+
+// ExampleHistogram counts key multiplicities of pre-hashed records
+// without materializing the grouped array; on the counting scatter the
+// heavy counts come straight from the scatter's first-pass histogram.
+func ExampleHistogram() {
+	recs := []semisort.Record{
+		{Key: 7}, {Key: 7}, {Key: 3}, {Key: 7}, {Key: 3},
+	}
+	hist, _ := semisort.Histogram(recs, nil)
+	sort.Slice(hist, func(i, j int) bool { return hist[i].Key < hist[j].Key })
+	for _, h := range hist {
+		fmt.Printf("key %d: %d\n", h.Key, h.Value)
+	}
+	// Output:
+	// key 3: 2
+	// key 7: 3
+}
+
+// ExampleReduceRecords reduces pre-hashed records with a Reducer — one
+// output record per distinct key, Value the folded accumulator.
+func ExampleReduceRecords() {
+	recs := []semisort.Record{
+		{Key: 1, Value: 10}, {Key: 2, Value: 5}, {Key: 1, Value: 30},
+	}
+	sums, _ := semisort.ReduceRecords(recs, semisort.Reducer{
+		Fold:  func(acc, v uint64) uint64 { return acc + v },
+		Merge: func(a, b uint64) uint64 { return a + b },
+	}, nil)
+	sort.Slice(sums, func(i, j int) bool { return sums[i].Key < sums[j].Key })
+	for _, s := range sums {
+		fmt.Printf("key %d: %d\n", s.Key, s.Value)
+	}
+	// Output:
+	// key 1: 40
+	// key 2: 5
+}
+
+// ExampleDistinct deduplicates by semisorting and keeping one
+// representative per group.
+func ExampleDistinct() {
+	ids := []int{4, 2, 4, 9, 2, 4}
+	uniq, _ := semisort.Distinct(ids, nil)
+	sort.Ints(uniq)
+	fmt.Println(uniq)
+	// Output: [2 4 9]
+}
+
+// ExampleMaxBy keeps the first-encountered maximum item per group; the
+// tie-break is order-sensitive, so MaxBy reduces over materialized
+// groups rather than fusing.
+func ExampleMaxBy() {
+	type score struct {
+		team string
+		pts  int
+	}
+	scores := []score{{"red", 3}, {"blue", 9}, {"red", 7}}
+	best, _ := semisort.MaxBy(scores,
+		func(s score) string { return s.team },
+		func(s score) int { return s.pts }, nil)
+	fmt.Println(best["red"].pts, best["blue"].pts)
+	// Output: 7 9
+}
+
+// ExampleSorter_ReduceShared reduces repeatedly through one Sorter: the
+// warm path allocates nothing — no grouped intermediate and no fresh
+// output, just the reused accumulator cells.
+func ExampleSorter_ReduceShared() {
+	s := semisort.NewSorter(&semisort.Config{Seed: 1})
+	count := semisort.Reducer{
+		Fold:  func(acc, _ uint64) uint64 { return acc + 1 },
+		Merge: func(a, b uint64) uint64 { return a + b },
+	}
+	batch := []semisort.Record{{Key: 5}, {Key: 5}, {Key: 8}}
+	out, _, _ := s.ReduceShared(batch, count)
+	total := uint64(0)
+	for _, g := range out {
+		total += g.Value
+	}
+	fmt.Println("groups:", len(out), "records:", total)
+	// Output: groups: 2 records: 3
+}
+
 // ExampleSorter reuses internal buffers across repeated semisorts.
 func ExampleSorter() {
 	s := semisort.NewSorter(&semisort.Config{Seed: 1})

@@ -3,11 +3,15 @@
 // database languages also have a direct groupBy operation that groups
 // together records by a given key").
 //
-// A synthetic clickstream is aggregated three ways through the semisort-
-// backed helpers: events per country (CountBy), revenue per product
-// (SumBy), and each user's most expensive purchase (MaxBy). StableBy then
-// reconstructs per-user session timelines, demonstrating the stability
-// guarantee.
+// A synthetic clickstream is aggregated four ways through the semisort-
+// backed helpers: events per country (CountBy) and revenue per product
+// (SumBy) run fused — the sums accumulate during the semisort's scatter
+// and local phases, with no grouped intermediate (docs/AGGREGATION.md);
+// spend per user runs through the same fused path via an explicit
+// ReduceBy; and each user's most expensive purchase (MaxBy) reduces over
+// materialized groups, because its first-encountered tie-break is
+// order-sensitive. StableBy then reconstructs per-user session timelines,
+// demonstrating the stability guarantee.
 //
 // Run with: go run ./examples/analytics [-events 200000]
 package main
@@ -62,6 +66,16 @@ func main() {
 		func(e event) int { return e.User },
 		func(e event) float64 { return e.Price }, nil)
 	check(err)
+	// Fused custom reduction: cents spent per user. Integer cents keep
+	// the fold commutative-exact (float sums would be order-sensitive in
+	// the last bits; SumBy documents the same caveat).
+	spent, err := semisort.ReduceBy(events,
+		func(e event) int { return e.User },
+		semisort.Reduction[event, int]{
+			Fold:  func(acc int, e event) int { return acc + int(e.Price*100+0.5) },
+			Merge: func(a, b int) int { return a + b },
+		}, nil)
+	check(err)
 
 	fmt.Printf("aggregated %d events in %v\n\n", *n, time.Since(t0))
 
@@ -81,7 +95,8 @@ func main() {
 			topUser, topPrice = u, e.Price
 		}
 	}
-	fmt.Printf("\nbiggest single purchase: user %d paid %.2f\n", topUser, topPrice)
+	fmt.Printf("\nbiggest single purchase: user %d paid %.2f (their total spend: %.2f)\n",
+		topUser, topPrice, float64(spent[topUser])/100)
 
 	// Stable grouping: each user's events in original (temporal) order.
 	timeline, err := semisort.StableBy(events, func(e event) int { return e.User }, nil)

@@ -6,8 +6,10 @@
 // each group." (Section 1)
 //
 // This example runs a complete word count: a map stage emits (word, 1)
-// pairs from synthetic documents, the semisort performs the shuffle, and a
-// reduce stage sums each group — all through the public GroupBy API.
+// pairs from synthetic documents, and a single fused ReduceBy call does
+// the shuffle AND the reduction — counts accumulate inside the semisort's
+// scatter and local phases, so the grouped intermediate array is never
+// materialized (see docs/AGGREGATION.md).
 //
 // Run with: go run ./examples/wordcount [-docs 2000] [-top 10]
 package main
@@ -58,23 +60,24 @@ func main() {
 	}
 	fmt.Printf("map stage emitted %d pairs over %d distinct words\n", len(emitted), len(vocab))
 
-	// --- Shuffle stage: semisort groups equal words together.
+	// --- Shuffle + reduce, fused: counts fold during the semisort.
+	// Integer sums form a commutative monoid, so Merge is just +, and the
+	// reducer runs fused instead of materializing the groups first.
 	t0 := time.Now()
-	groups, err := semisort.GroupBy(emitted, func(p pair) string { return p.word }, nil)
+	counts, err := semisort.ReduceBy(emitted,
+		func(p pair) string { return p.word },
+		semisort.Reduction[pair, int]{
+			Fold:  func(acc int, p pair) int { return acc + p.count },
+			Merge: func(a, b int) int { return a + b },
+		}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// --- Reduce stage: sum the counts of each group.
-	var totals []pair
-	for word, g := range groups {
-		sum := 0
-		for _, p := range g {
-			sum += p.count
-		}
+	totals := make([]pair, 0, len(counts))
+	for word, sum := range counts {
 		totals = append(totals, pair{word: word, count: sum})
 	}
-	fmt.Printf("shuffle+reduce took %v, %d groups\n", time.Since(t0), len(totals))
+	fmt.Printf("fused shuffle+reduce took %v, %d groups\n", time.Since(t0), len(totals))
 
 	sort.Slice(totals, func(i, j int) bool { return totals[i].count > totals[j].count })
 	fmt.Printf("\ntop %d words:\n", *top)

@@ -42,10 +42,12 @@ type Baseline struct {
 	TotalSec float64 `json:"total_sec"`
 	// AllocsPerOp is the steady-state heap allocations per warm-workspace
 	// semisort call at one worker, keyed by scatter strategy ("probing",
-	// "counting") and, for baselines written after the arena kernels, by
-	// pinned Phase 4 kernel ("kernel_counting", "kernel_bucket"). Absent
-	// from baselines written before the pipeline refactor; Compare gates
-	// only the keys the stored baseline has.
+	// "counting"), by pinned Phase 4 kernel for baselines written after
+	// the arena kernels ("kernel_counting", "kernel_bucket"), and by
+	// fused aggregation entry point for baselines written after the
+	// collect-reduce work ("reduce", "histogram"). Absent from baselines
+	// written before the pipeline refactor; Compare gates only the keys
+	// the stored baseline has.
 	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
@@ -59,7 +61,9 @@ const AllocSlack = 2
 // the baseline captures production performance) on the seeded uniform
 // distribution (pinned to the probing scatter) and returns the per-phase
 // minima, plus counting_* keys covering the counting scatter on the
-// duplicate-heavy exponential workload so both placements are gated.
+// duplicate-heavy exponential workload so both placements are gated, plus
+// reduce_* keys covering the fused collect-reduce entry points on the
+// same heavy workload (docs/AGGREGATION.md).
 func MeasureBaseline(o Options) Baseline {
 	o = o.withDefaults()
 	P := o.MaxProcs()
@@ -124,6 +128,39 @@ func MeasureBaseline(o Options) Baseline {
 		b.PhasesSec[name] = d.Seconds()
 	}
 
+	// Fused reduce: the collect-reduce pipeline on the duplicate-heavy
+	// workload, one set of keys per strategy. Like counting_*, the keys
+	// ride in PhasesSec so newer baselines gate them and older ones
+	// without the keys still compare cleanly.
+	sp := sumReduceSpec()
+	reduced := map[string]time.Duration{}
+	for r := 0; r < o.Reps; r++ {
+		for name, strat := range map[string]core.ScatterStrategy{
+			"reduce_probing":  core.ScatterProbing,
+			"reduce_counting": core.ScatterCounting,
+		} {
+			_, _, st, err := core.ReduceShared(&ws, exp, &core.Config{Procs: P, Seed: o.Seed + 7,
+				ScatterStrategy: strat}, sp)
+			if err != nil {
+				panic(err)
+			}
+			if d := st.Phases.Total(); reduced[name] == 0 || d < reduced[name] {
+				reduced[name] = d
+			}
+		}
+		_, _, st, err := core.HistogramShared(&ws, exp, &core.Config{Procs: P, Seed: o.Seed + 7,
+			ScatterStrategy: core.ScatterCounting})
+		if err != nil {
+			panic(err)
+		}
+		if d := st.Phases.Total(); reduced["reduce_histogram"] == 0 || d < reduced["reduce_histogram"] {
+			reduced["reduce_histogram"] = d
+		}
+	}
+	for name, d := range reduced {
+		b.PhasesSec[name] = d.Seconds()
+	}
+
 	// Steady-state allocations per call, one worker, warm workspace: the
 	// zero-allocation contract of the pipeline-over-Workspace design. Kept
 	// in the baseline so an allocation regression (a buffer that slipped
@@ -155,6 +192,21 @@ func MeasureBaseline(o Options) Baseline {
 		"kernel_bucket": allocsPerOp(allocReps, func() {
 			if _, _, err := core.SemisortWS(&ws, a, &core.Config{Procs: 1, Seed: o.Seed + 7,
 				LocalSort: core.LocalSortBucket}); err != nil {
+				panic(err)
+			}
+		}),
+		// Fused reduce and histogram reuse the workspace's accumulator
+		// cells and reduce stage, so warm calls must stay allocation-free
+		// just like plain semisorts.
+		"reduce": allocsPerOp(allocReps, func() {
+			if _, _, _, err := core.ReduceShared(&ws, exp, &core.Config{Procs: 1, Seed: o.Seed + 7,
+				ScatterStrategy: core.ScatterProbing}, sp); err != nil {
+				panic(err)
+			}
+		}),
+		"histogram": allocsPerOp(allocReps, func() {
+			if _, _, _, err := core.HistogramShared(&ws, exp, &core.Config{Procs: 1, Seed: o.Seed + 7,
+				ScatterStrategy: core.ScatterCounting}); err != nil {
 				panic(err)
 			}
 		}),

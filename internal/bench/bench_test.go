@@ -193,6 +193,18 @@ func TestRunRRCompareTiny(t *testing.T) {
 	}
 }
 
+func TestRunReduceTiny(t *testing.T) {
+	tabs := RunReduce(tinyOptions())
+	if len(tabs) != 2 {
+		t.Fatalf("reduce tables = %d, want 2", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 6 { // 3 distributions x 2 strategies
+			t.Errorf("table %q rows = %d, want 6", tab.Title, len(tab.Rows))
+		}
+	}
+}
+
 func TestRunSchedulersTiny(t *testing.T) {
 	tabs := RunSchedulers(tinyOptions())
 	if len(tabs) != 1 || len(tabs[0].Rows) != 2 {

@@ -136,6 +136,7 @@ func TestBaselineRoundTrip(t *testing.T) {
 	for _, ph := range []string{
 		"sample", "buckets", "scatter", "localsort", "pack",
 		"counting_scatter", "counting_localsort", "counting_total",
+		"reduce_probing", "reduce_counting", "reduce_histogram",
 	} {
 		if b.PhasesSec[ph] <= 0 {
 			t.Fatalf("baseline phase %q = %v, want positive (%+v)", ph, b.PhasesSec[ph], b)

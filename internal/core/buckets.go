@@ -42,9 +42,15 @@ func (pl *plan) allocatePhase() error {
 	var slotTotal int64
 	for _, hr := range pl.heavyRuns {
 		id := int64(len(buckets))
-		size := sizeEstimate(int(hr.count), pl.logn, c.C, c.Slack, c.SampleRate, c.ExactBucketSizes)
-		if m, ok := pl.boost[int32(id)]; ok {
-			size = boostSize(size, m, c.ExactBucketSizes)
+		size := 0
+		if pl.red == nil {
+			// A fused reduce never places heavy records (they fold into
+			// per-worker cells), so heavy buckets get no slots at all: the
+			// slot arrays and the MaxSlotBytes cap cover light keys only.
+			size = sizeEstimate(int(hr.count), pl.logn, c.C, c.Slack, c.SampleRate, c.ExactBucketSizes)
+			if m, ok := pl.boost[int32(id)]; ok {
+				size = boostSize(size, m, c.ExactBucketSizes)
+			}
 		}
 		buckets = append(buckets, bucket{off: slotTotal, sz: uint64(size)})
 		slotTotal += int64(size)
@@ -105,6 +111,9 @@ func (pl *plan) allocatePhase() error {
 	pl.firstLight = firstLight
 	pl.numLightMerged = len(buckets) - firstLight
 	pl.slotTotal = slotTotal
+	if pl.red != nil {
+		pl.ensureReduceState()
+	}
 
 	if pl.strat == ScatterCounting {
 		// The counting scatter writes straight into the output array, so

@@ -227,10 +227,24 @@ type Stats struct {
 	SampleSize     int        // |S|
 	HeavyKeys      int        // distinct heavy keys
 	LightBuckets   int        // light buckets after merging
-	SlotsAllocated int        // total bucket array slots (≈ Σ slack·f(s))
-	HeavyRecords   int        // records placed via the heavy path
+	// SlotsAllocated is the total bucket-array slot count the winning
+	// attempt allocated. On the probing path it is ≈ Σ slack·f(s) over
+	// the buckets (light-only under a fused reduce, which gives heavy
+	// buckets no slots); the counting path writes packed output directly
+	// and reports exactly N.
+	SlotsAllocated int
+	// HeavyRecords counts records routed through the heavy path: placed
+	// in heavy-bucket slots on a plain semisort, folded into per-worker
+	// accumulator cells (or, for a counting Histogram, counted by pass 1
+	// and skipped) on a fused reduce.
+	HeavyRecords   int
 	EffectiveSlack float64    // slack in force for the attempt that produced the output
 	Phases         PhaseTimes // per-phase wall-clock breakdown
+
+	// ReducedGroups is the number of groups a fused reduce produced
+	// (ReduceShared/HistogramShared): one output record per distinct
+	// key. Zero on a plain semisort.
+	ReducedGroups int
 
 	// Retries counts the scatter attempts that failed before the output
 	// was produced; it is always Attempts-1. A retry is NOT necessarily a
@@ -257,7 +271,8 @@ type Stats struct {
 	ScatterStrategy string
 	// ScatterFlushes counts the staging-buffer flushes the counting
 	// scatter performed (full cache-line flushes plus end-of-block
-	// drains); zero on the probing path or when staging was bypassed.
+	// drains); zero on the probing path, when staging was bypassed, and
+	// on a fused reduce (whose counting pass 2 stores records directly).
 	ScatterFlushes int64
 	// LocalSortRanges is the number of size-aware bucket ranges the Phase
 	// 4 schedule cut the light buckets into (1 at Procs == 1, at most

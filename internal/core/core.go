@@ -77,7 +77,8 @@ func SemisortWS(ws *Workspace, a []rec.Record, cfg *Config) ([]rec.Record, Stats
 	if ws == nil {
 		ws = &Workspace{}
 	}
-	return semisortInto(ws, nil, a, cfg, false)
+	out, _, stats, err := semisortInto(ws, nil, a, cfg, false, nil)
+	return out, stats, err
 }
 
 // SemisortInto is SemisortWS writing the output into dst when
@@ -88,7 +89,8 @@ func SemisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config) ([]rec.Record
 	if ws == nil {
 		ws = &Workspace{}
 	}
-	return semisortInto(ws, dst, a, cfg, false)
+	out, _, stats, err := semisortInto(ws, dst, a, cfg, false, nil)
+	return out, stats, err
 }
 
 // SemisortShared is SemisortWS returning a slice owned by the workspace:
@@ -100,16 +102,19 @@ func SemisortShared(ws *Workspace, a []rec.Record, cfg *Config) ([]rec.Record, S
 	if ws == nil {
 		ws = &Workspace{}
 	}
-	return semisortInto(ws, ws.out, a, cfg, true)
+	out, _, stats, err := semisortInto(ws, ws.out, a, cfg, true, nil)
+	return out, stats, err
 }
 
 // semisortInto runs the Las Vegas retry ladder over pipeline attempts
 // (plan.semisortOnce), then the sequential fallback when the ladder is
 // exhausted. When retain is set the produced output is kept in ws.out for
-// the next Shared call. The deferred epilogue drops the plan's references
-// to caller memory and enforces Config.MaxRetainedBytes, whatever path
-// returned.
-func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool) (out []rec.Record, stats Stats, err error) {
+// the next Shared call. A non-nil red switches every stage to its fused
+// collect-reduce arm (reduce.go): the output is then one record per
+// group, with reps its parallel representative slice (nil on plain
+// semisorts). The deferred epilogue drops the plan's references to caller
+// memory and enforces Config.MaxRetainedBytes, whatever path returned.
+func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool, red *ReduceSpec) (out []rec.Record, reps []uint64, stats Stats, err error) {
 	c := cfg.withDefaults()
 	defer func() {
 		if r := recover(); r != nil {
@@ -117,7 +122,7 @@ func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool) 
 			if !ok {
 				panic(r) // not from a fork–join worker; let it crash
 			}
-			out, err = nil, fmt.Errorf("semisort: worker panic: %w", pe)
+			out, reps, err = nil, nil, fmt.Errorf("semisort: worker panic: %w", pe)
 		}
 		if retain && out != nil {
 			ws.out = out
@@ -147,7 +152,7 @@ func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool) 
 	)
 	for attempt := 0; attempt < c.MaxRetries; attempt++ {
 		if cerr := ctxErr(c.Context); cerr != nil {
-			return nil, stats, fmt.Errorf("semisort: canceled: %w", cerr)
+			return nil, nil, stats, fmt.Errorf("semisort: canceled: %w", cerr)
 		}
 		if tr.obs != nil {
 			kind := obsv.AttemptFresh
@@ -163,7 +168,7 @@ func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool) 
 				Slack: c.Slack, BoostedBuckets: len(boost),
 			})
 		}
-		pl.begin(ws, a, dst, &c, sampleAttempt, attempt, boost, &tr)
+		pl.begin(ws, a, dst, &c, sampleAttempt, attempt, boost, &tr, red)
 		res, oerr := semisortOnce(pl)
 		s := pl.stats
 		s.Retries = attempt
@@ -174,7 +179,7 @@ func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool) 
 		stats = s
 		if oerr == nil {
 			tr.attemptEnd(obsv.AttemptEnd{Index: attempt, Outcome: obsv.OutcomeOK})
-			return res, s, nil
+			return res, pl.reps, s, nil
 		}
 		var of *overflowError
 		switch {
@@ -228,7 +233,7 @@ func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool) 
 				outcome = obsv.OutcomeCanceled
 			}
 			tr.attemptEnd(obsv.AttemptEnd{Index: attempt, Outcome: outcome})
-			return nil, stats, fmt.Errorf("semisort failed after %d attempts: %w", attempt+1, oerr)
+			return nil, nil, stats, fmt.Errorf("semisort failed after %d attempts: %w", attempt+1, oerr)
 		}
 		if capHit {
 			break
@@ -243,10 +248,10 @@ func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool) 
 		if capHit {
 			why = "slot memory cap"
 		}
-		return nil, stats, fmt.Errorf("semisort: %s after %d attempts: %w", why, stats.Attempts, ErrOverflow)
+		return nil, nil, stats, fmt.Errorf("semisort: %s after %d attempts: %w", why, stats.Attempts, ErrOverflow)
 	}
 	if cerr := ctxErr(c.Context); cerr != nil {
-		return nil, stats, fmt.Errorf("semisort: canceled: %w", cerr)
+		return nil, nil, stats, fmt.Errorf("semisort: canceled: %w", cerr)
 	}
 	// The fallback is traced as one more attempt (index Attempts, i.e.
 	// after the last scatter attempt) holding a single "fallback" span.
@@ -256,12 +261,20 @@ func semisortInto(ws *Workspace, dst, a []rec.Record, cfg *Config, retain bool) 
 	t0 := time.Now()
 	tr.labeled("fallback", func() {
 		out = seqsemi.TwoPhase(a)
+		if red != nil {
+			// The fused fallback: sort sequentially, then fold each
+			// equal-key run in place (reduce.go).
+			out, reps = reduceRuns(ws, out, red)
+		}
 	})
 	stats.Phases.LocalSort += time.Since(t0)
 	tr.span(fbIdx, obsv.PhaseFallback, t0, obsv.OutcomeOK)
 	tr.attemptEnd(obsv.AttemptEnd{Index: fbIdx, Outcome: obsv.OutcomeOK})
 	stats.FallbackUsed = true
-	return out, stats, nil
+	if red != nil {
+		stats.ReducedGroups = len(out)
+	}
+	return out, reps, stats, nil
 }
 
 // ctxErr is ctx.Err() tolerating a nil context.

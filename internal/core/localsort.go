@@ -37,19 +37,25 @@ import (
 	"repro/internal/sortcmp"
 )
 
-// localSortPhase runs Phase 4 through the stage.
+// localSortPhase runs Phase 4 through the stage. On a fused reduce the
+// phase is the in-arena reduction instead of a sort, and its span carries
+// the "reduce" phase and kernel names.
 func (pl *plan) localSortPhase(st scatterStage) error {
 	if err := phaseGate(pl.ctx, "local sort"); err != nil {
 		return err
 	}
-	pl.tr.phaseStart(pl.attempt, obsv.PhaseLocalSort)
+	ph, kernel := obsv.PhaseLocalSort, pl.cfg.LocalSort.String()
+	if pl.red != nil {
+		ph, kernel = obsv.PhaseReduce, "reduce"
+	}
+	pl.tr.phaseStart(pl.attempt, ph)
 	t0 := time.Now()
 	if err := st.localSort(pl); err != nil {
-		pl.tr.localSortSpan(pl.attempt, t0, obsv.OutcomeCanceled, pl.cfg.LocalSort.String(), int64(pl.stats.LocalSortRanges))
+		pl.tr.localSortSpan(pl.attempt, ph, t0, obsv.OutcomeCanceled, kernel, int64(pl.stats.LocalSortRanges))
 		return fmt.Errorf("semisort: canceled at local sort: %w", err)
 	}
 	pl.stats.Phases.LocalSort = time.Since(t0)
-	pl.tr.localSortSpan(pl.attempt, t0, obsv.OutcomeOK, pl.cfg.LocalSort.String(), int64(pl.stats.LocalSortRanges))
+	pl.tr.localSortSpan(pl.attempt, ph, t0, obsv.OutcomeOK, kernel, int64(pl.stats.LocalSortRanges))
 	return nil
 }
 
@@ -119,6 +125,12 @@ type lsArena struct {
 	// valid key.
 	tabKeys []uint64
 	tabLabs []int32
+	// Fused-reduce segment buffers (reduceSeg): per-distinct-key
+	// accumulators, representatives and keys, indexed by naming-table
+	// label.
+	redAccs []uint64
+	redReps []uint64
+	redKeys []uint64
 }
 
 // sortSeg groups one light bucket's records in place with the

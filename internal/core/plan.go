@@ -139,11 +139,27 @@ type plan struct {
 	packTotal    int32
 	heavyTotal   int
 	lightTotal   int32
+
+	// Fused collect-reduce state (reduce.go); red == nil on plain
+	// semisorts and every reduce branch below is skipped.
+	red          *ReduceSpec
+	redSlots     int      // per-worker cell rows (== procs)
+	redCells     int      // cells per row (== firstLight, one per heavy bucket)
+	redAccs      []uint64 // redSlots × redCells accumulators
+	redCellReps  []uint64 // redSlots × redCells representatives
+	redUsed      []uint8  // redSlots × redCells used flags, cleared per attempt
+	redStage     []rec.Record
+	redStageReps []uint64
+	redDistinct  []int32 // per merged light bucket: groups after reduceSeg
+	redOff       []int32 // exclusive scan of redDistinct
+	redHeavyRecs int     // counting path: records in heavy buckets (pass 1)
+	redBadHeavy  atomic.Int64
+	reps         []uint64 // final per-group representatives (view of ws.redReps)
 }
 
 // begin resets the plan for one attempt. Every field is (re)assigned so
 // no state can leak from a previous attempt or call.
-func (pl *plan) begin(ws *Workspace, a, dst []rec.Record, c *Config, sampleAttempt, attempt int, boost map[int32]float64, tr *tracer) {
+func (pl *plan) begin(ws *Workspace, a, dst []rec.Record, c *Config, sampleAttempt, attempt int, boost map[int32]float64, tr *tracer, red *ReduceSpec) {
 	pl.cfg = *c
 	pl.ws = ws
 	pl.tr = *tr
@@ -189,6 +205,15 @@ func (pl *plan) begin(ws *Workspace, a, dst []rec.Record, c *Config, sampleAttem
 	pl.lightCnt, pl.lightOffsets, pl.packCounts = nil, nil, nil
 	pl.intervals, pl.ilen, pl.packTotal = 0, 0, 0
 	pl.heavyTotal, pl.lightTotal = 0, 0
+
+	pl.red = red
+	pl.redSlots, pl.redCells = 0, 0
+	pl.redAccs, pl.redCellReps, pl.redUsed = nil, nil, nil
+	pl.redStage, pl.redStageReps = nil, nil
+	pl.redDistinct, pl.redOff = nil, nil
+	pl.redHeavyRecs = 0
+	pl.redBadHeavy.Store(0)
+	pl.reps = nil
 }
 
 // clearRefs drops every reference the plan holds (input, output, buffer
@@ -211,6 +236,11 @@ func (pl *plan) clearRefs() {
 	pl.hist, pl.counts, pl.cbase = nil, nil, nil
 	pl.lsCum, pl.lsBounds = nil, nil
 	pl.lightCnt, pl.lightOffsets, pl.packCounts = nil, nil, nil
+	pl.red = nil
+	pl.redAccs, pl.redCellReps, pl.redUsed = nil, nil, nil
+	pl.redStage, pl.redStageReps = nil, nil
+	pl.redDistinct, pl.redOff = nil, nil
+	pl.reps = nil
 	pl.stats = Stats{}
 }
 

@@ -83,6 +83,17 @@ type countingStage struct{}
 func (countingStage) strategy() ScatterStrategy { return ScatterCounting }
 
 func (countingStage) scatter(pl *plan) error {
+	if pl.red != nil {
+		// Fused reduce (reduce.go): light records stage into redStage (the
+		// output array is not produced until pack), heavy records fold into
+		// per-worker cells — or, for Histogram, are skipped entirely in
+		// favor of pass 1's counts.
+		if err := pl.tr.labeledPhase(pl, "scatter", (*plan).countingReduceScatterBody); err != nil {
+			return err
+		}
+		pl.stats.HeavyRecords = pl.redHeavyRecs
+		return nil
+	}
 	pl.ensureOut()
 	if err := pl.tr.labeledPhase(pl, "scatter", (*plan).countingScatterBody); err != nil {
 		return err
@@ -229,6 +240,10 @@ func (pl *plan) countingPassChunk(blo, bhi int) {
 func (countingStage) localSort(pl *plan) error {
 	pl.planLightRanges((*plan).countingBucketWeight)
 	pl.ws.ensureArenas(pl.procs)
+	if pl.red != nil {
+		pl.redDistinct = grow(&pl.ws.redDistinct, pl.numLightMerged)
+		return pl.tr.labeledPhase(pl, "reduce", (*plan).countingReduceBody)
+	}
 	return pl.tr.labeledPhase(pl, "localsort", (*plan).countingLocalSortBody)
 }
 
@@ -252,8 +267,13 @@ func (pl *plan) countingLocalSortRange(ri int) {
 	pl.ws.releaseArena(slot)
 }
 
-// pack is a no-op invariant check: the scatter already packed.
+// pack is a no-op invariant check: the scatter already packed. The fused
+// reduce arm instead merges heavy cells and compacts the reduced light
+// prefixes (reduce.go).
 func (countingStage) pack(pl *plan) error {
+	if pl.red != nil {
+		return pl.packReduceCounting()
+	}
 	if pl.placedTotal != pl.n {
 		return fmt.Errorf("semisort internal error: counting scatter placed %d of %d records", pl.placedTotal, pl.n)
 	}

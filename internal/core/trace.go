@@ -69,16 +69,17 @@ func (t *tracer) scatterSpan(attempt int, start time.Time, outcome string, strat
 	})
 }
 
-// localSortSpan closes a local-sort span like span(), additionally
-// attaching the Phase 4 kernel name and the number of size-aware bucket
-// ranges the schedule used.
-func (t *tracer) localSortSpan(attempt int, start time.Time, outcome string, kernel string, ranges int64) {
+// localSortSpan closes a Phase 4 span like span() — PhaseLocalSort on a
+// plain semisort, PhaseReduce on a fused reduce — additionally attaching
+// the kernel name and the number of size-aware bucket ranges the
+// schedule used.
+func (t *tracer) localSortSpan(attempt int, ph obsv.Phase, start time.Time, outcome string, kernel string, ranges int64) {
 	if t.obs == nil {
 		return
 	}
 	t.obs.PhaseEnd(obsv.Span{
 		Attempt:  attempt,
-		Phase:    obsv.PhaseLocalSort,
+		Phase:    ph,
 		Start:    start.Sub(t.epoch),
 		Duration: time.Since(start),
 		Outcome:  outcome,

@@ -59,6 +59,23 @@ type Workspace struct {
 	lightOffsets []int32
 	packCounts   []int32
 
+	// Fused collect-reduce (reduce.go): per-worker heavy accumulator
+	// cells (redAccs/redCellReps/redUsed, handed out through the redFree
+	// free-list), the counting path's light staging area (redStage), the
+	// per-group representative buffers, and the spec in flight. redSpec
+	// is cleared by ReduceShared before returning so a retained workspace
+	// never pins the caller's closures.
+	redAccs      []uint64
+	redCellReps  []uint64
+	redUsed      []uint8
+	redFree      chan int
+	redStage     []rec.Record
+	redStageReps []uint64
+	redDistinct  []int32
+	redOff       []int32
+	redReps      []uint64
+	redSpec      ReduceSpec
+
 	// Retained output buffer (SemisortShared); overwritten by the next
 	// Shared call through this workspace.
 	out []rec.Record
@@ -214,6 +231,13 @@ func (w *Workspace) acquireArena() int { return <-w.lsFree }
 // releaseArena returns an arena to the free-list.
 func (w *Workspace) releaseArena(s int) { w.lsFree <- s }
 
+// acquireRed claims a row of heavy accumulator cells for one reduce
+// chunk; same buffered-channel free-list pattern as the arenas.
+func (w *Workspace) acquireRed() int { return <-w.redFree }
+
+// releaseRed returns a cell row to the free-list.
+func (w *Workspace) releaseRed(s int) { w.redFree <- s }
+
 // RetainedBytes reports the scratch memory the workspace currently pins,
 // the quantity Config.MaxRetainedBytes caps. The heavy-key table and the
 // retained Shared output count; the boost map's few entries do not.
@@ -232,8 +256,12 @@ func (w *Workspace) RetainedBytes() int64 {
 		n += int64(cap(ar.labels)+cap(ar.labScratch)+cap(ar.counts)+
 			cap(ar.offs)+cap(ar.tabLabs)) * 4
 		n += int64(cap(ar.scratch))*16 + int64(cap(ar.tabKeys))*8
+		n += int64(cap(ar.redAccs)+cap(ar.redReps)+cap(ar.redKeys)) * 8
 	}
 	n += int64(cap(w.lsCum))*8 + int64(cap(w.lsBounds))*4
+	n += int64(cap(w.redAccs)+cap(w.redCellReps)+cap(w.redStageReps)+cap(w.redReps)) * 8
+	n += int64(cap(w.redUsed)) + int64(cap(w.redStage))*16
+	n += int64(cap(w.redDistinct)+cap(w.redOff)) * 4
 	n += int64(cap(w.out)) * 16
 	if w.table != nil {
 		n += int64(w.table.Capacity()) * 16
@@ -255,6 +283,10 @@ func (w *Workspace) Release() {
 	w.stageBuf, w.stageCnt, w.stageFree = nil, nil, nil
 	w.lsArenas, w.lsFree, w.lsCum, w.lsBounds = nil, nil, nil, nil
 	w.lightCnt, w.lightOffsets, w.packCounts = nil, nil, nil
+	w.redAccs, w.redCellReps, w.redUsed, w.redFree = nil, nil, nil, nil
+	w.redStage, w.redStageReps = nil, nil
+	w.redDistinct, w.redOff, w.redReps = nil, nil, nil
+	w.redSpec = ReduceSpec{}
 	w.out = nil
 }
 
@@ -270,15 +302,18 @@ func (w *Workspace) shrink(max int64) {
 	}
 	w.plan.clearRefs() // the plan aliases the buffers being dropped
 	w.slots, w.occ = nil, nil
+	w.redStage, w.redStageReps = nil, nil
 	if w.RetainedBytes() <= max {
 		return
 	}
-	w.out = nil
+	w.out, w.redReps = nil, nil
 	if w.RetainedBytes() <= max {
 		return
 	}
 	w.hist, w.stageBuf, w.stageCnt, w.stageFree = nil, nil, nil, nil
 	w.lsArenas, w.lsFree, w.lsCum, w.lsBounds = nil, nil, nil, nil
+	w.redAccs, w.redCellReps, w.redUsed, w.redFree = nil, nil, nil, nil
+	w.redDistinct, w.redOff = nil, nil
 	if w.RetainedBytes() <= max {
 		return
 	}

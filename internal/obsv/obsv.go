@@ -58,6 +58,10 @@ const (
 	// PhaseVerify is the generic front-end's collision check over the
 	// semisorted output (one span per rehash attempt).
 	PhaseVerify
+	// PhaseReduce is the fused collect-reduce's Phase 4: in-arena
+	// reduction of the light buckets (it replaces the localsort span on
+	// fused runs; the heavy-cell merge is part of the pack span).
+	PhaseReduce
 
 	numPhases
 )
@@ -72,6 +76,7 @@ var phaseNames = [numPhases]string{
 	"fallback",
 	"hash",
 	"verify",
+	"reduce",
 }
 
 func (p Phase) String() string {

@@ -74,7 +74,10 @@ func TestAggregationsAgreeWithMapReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotReduce, err := ReduceBy(items, key, func(acc int, it item) int { return acc + it.v }, nil)
+	gotReduce, err := ReduceBy(items, key, Reduction[item, int]{
+		Fold:  func(acc int, it item) int { return acc + it.v },
+		Merge: func(a, b int) int { return a + b },
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,283 @@
+package semisort
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// sumReducer folds Values into per-key sums — the canonical commutative
+// monoid used throughout the differential tests.
+var sumReducer = Reducer{
+	Fold:  func(acc, v uint64) uint64 { return acc + v },
+	Merge: func(a, b uint64) uint64 { return a + b },
+}
+
+// refReduce is the plain-map reference for record-level reductions.
+func refReduce(a []Record) (sums, counts map[uint64]uint64) {
+	sums = map[uint64]uint64{}
+	counts = map[uint64]uint64{}
+	for _, r := range a {
+		sums[r.Key] += r.Value
+		counts[r.Key]++
+	}
+	return sums, counts
+}
+
+// TestReduceRecordsDifferential cross-checks the fused record-level
+// reduce against the plain-map reference across every scatter strategy,
+// proc count and key distribution: the fused path must find exactly the
+// reference's groups with exactly its accumulators, regardless of how
+// records were placed or how partial accumulators were merged.
+func TestReduceRecordsDifferential(t *testing.T) {
+	dists := []struct {
+		name string
+		a    []Record
+	}{
+		{"skewed", mkRecords(30000, 120, 9)},    // heavy-duplicate
+		{"spread", mkRecords(30000, 30000, 10)}, // mostly light
+		{"single", mkRecords(20000, 1, 11)},     // one giant group
+		{"mixed", append(mkRecords(15000, 40, 12), mkRecords(15000, 15000, 13)...)},
+	}
+	for _, d := range dists {
+		wantSum, wantCount := refReduce(d.a)
+		for _, strat := range []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting} {
+			for _, procs := range []int{1, 4} {
+				cfg := &Config{Procs: procs, Seed: 21, ScatterStrategy: strat}
+				out, err := ReduceRecords(d.a, sumReducer, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v/p=%d: %v", d.name, strat, procs, err)
+				}
+				checkAgainst(t, d.name, out, wantSum)
+				hist, err := Histogram(d.a, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v/p=%d histogram: %v", d.name, strat, procs, err)
+				}
+				checkAgainst(t, d.name+"/hist", hist, wantCount)
+			}
+		}
+	}
+}
+
+func checkAgainst(t *testing.T, name string, out []Record, want map[uint64]uint64) {
+	t.Helper()
+	if len(out) != len(want) {
+		t.Fatalf("%s: %d groups, want %d", name, len(out), len(want))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range out {
+		if seen[r.Key] {
+			t.Fatalf("%s: key %d appears twice", name, r.Key)
+		}
+		seen[r.Key] = true
+		if w, ok := want[r.Key]; !ok || r.Value != w {
+			t.Fatalf("%s: key %d acc = %d, want %d", name, r.Key, r.Value, w)
+		}
+	}
+}
+
+// TestReduceByFusedMatchesMaterialized runs the same reduction through
+// the fused path (Merge set) and the materialize-then-fold path (Merge
+// nil) and demands identical maps — the differential that gates the
+// fused generic front-end.
+func TestReduceByFusedMatchesMaterialized(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	type ev struct {
+		k int
+		v int
+	}
+	items := make([]ev, 40000)
+	for i := range items {
+		items[i] = ev{k: r.Intn(300), v: r.Intn(100)}
+	}
+	key := func(e ev) int { return e.k }
+	fold := func(acc int, e ev) int { return acc + e.v }
+
+	for _, strat := range []ScatterStrategy{ScatterProbing, ScatterCounting} {
+		cfg := &Config{Procs: 4, Seed: 17, ScatterStrategy: strat}
+		fused, err := ReduceBy(items, key, Reduction[ev, int]{
+			Fold:  fold,
+			Merge: func(a, b int) int { return a + b },
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := ReduceBy(items, key, Reduction[ev, int]{Fold: fold}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fused) != len(mat) {
+			t.Fatalf("%v: fused %d groups, materialized %d", strat, len(fused), len(mat))
+		}
+		for k, v := range mat {
+			if fused[k] != v {
+				t.Fatalf("%v: group %d fused = %d, materialized = %d", strat, k, fused[k], v)
+			}
+		}
+	}
+}
+
+// TestReduceByNonCommutativeMergeDiverges documents what the
+// differential harness above detects: a Merge that is not commutative/
+// associative with Fold gives scheduling-dependent results, so the fused
+// and materialized paths disagree. The fold here is an order-sensitive
+// polynomial hash; on a heavy-duplicate input at several workers, at
+// least one group's fused accumulator must differ from the left-to-right
+// materialized fold. (This is why Reduction documents the commutative-
+// monoid requirement.)
+func TestReduceByNonCommutativeMergeDiverges(t *testing.T) {
+	items := make([]int, 40000)
+	for i := range items {
+		items[i] = i % 20 // 20 heavy groups, 2000 records each
+	}
+	key := func(v int) int { return v }
+	fold := func(acc int, v int) int { return acc*31 + v + 1 }
+
+	cfg := &Config{Procs: 4, Seed: 23, ScatterStrategy: ScatterCounting}
+	fused, err := ReduceBy(items, key, Reduction[int, int]{
+		Fold:  fold,
+		Merge: func(a, b int) int { return a*31 + b },
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := ReduceBy(items, key, Reduction[int, int]{Fold: fold}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := 0
+	for k, v := range mat {
+		if fused[k] != v {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("non-commutative merge produced identical results; differential harness cannot detect order sensitivity")
+	}
+}
+
+// TestCountByInjectedHashCollision drives the fused generic path through
+// its Las Vegas rehash: one injected 64-bit hash collision must be
+// survived by retrying with a fresh seed, persistent collisions must
+// surface as a typed error, and either way the counts must never be
+// silently wrong.
+func TestCountByInjectedHashCollision(t *testing.T) {
+	items := make([]string, 20000)
+	for i := range items {
+		items[i] = strings.Repeat("x", i%41+1)
+	}
+	key := func(s string) int { return len(s) }
+
+	fault.Enable(fault.New(9).Arm(fault.HashCollision, 0, 1))
+	got, err := CountBy(items, key, &Config{Procs: 2})
+	fault.Disable()
+	if err != nil {
+		t.Fatalf("CountBy after one injected collision: %v", err)
+	}
+	want := map[int]int{}
+	for _, s := range items {
+		want[len(s)]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("count[%d] = %d, want %d", k, got[k], c)
+		}
+	}
+
+	inj := fault.New(9).Arm(fault.HashCollision, 0, 1000)
+	fault.Enable(inj)
+	_, err = CountBy(items, key, &Config{Procs: 2})
+	fault.Disable()
+	if err == nil || !strings.Contains(err.Error(), "hash collision") {
+		t.Fatalf("persistent collisions: err = %v, want hash collision error", err)
+	}
+	if inj.Fired(fault.HashCollision) < 2 {
+		t.Errorf("collision point fired %d times, want one per retry", inj.Fired(fault.HashCollision))
+	}
+}
+
+// TestSorterReduceWarmAllocs is the warm fused allocation gate: after
+// one warming call, ReduceShared and HistogramShared on a Sorter must
+// run allocation-free — no grouped intermediate, no per-group slice
+// headers, no output copy. (The Reducer→spec closure adaptation costs a
+// handful of fixed allocations per call, independent of n and groups.)
+func TestSorterReduceWarmAllocs(t *testing.T) {
+	a := mkRecords(100000, 400, 19)
+	s := NewSorter(&Config{Procs: 1, Seed: 3})
+	if _, _, err := s.ReduceShared(a, sumReducer); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := s.ReduceShared(a, sumReducer); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("warm ReduceShared allocs = %.0f, want ≤ 8 (independent of n and groups)", allocs)
+	}
+	if _, _, err := s.HistogramShared(a); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(5, func() {
+		if _, _, err := s.HistogramShared(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("warm HistogramShared allocs = %.0f, want ≤ 8", allocs)
+	}
+}
+
+// bytesPerRun reports mean heap bytes allocated per call of fn, the way
+// allocation counts are measured for AllocsPerRun: GOMAXPROCS pinned to
+// 1 and a warmup call excluded.
+func bytesPerRun(runs int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(runs)
+}
+
+// TestFusedCountByAllocatesLessThanGrouping gates the point of fusion at
+// the generic layer: CountBy never materializes the grouped permutation,
+// so on a many-group input it must allocate meaningfully fewer bytes
+// than CollectGroups, which builds the full n-item grouped output plus a
+// slice header per group.
+func TestFusedCountByAllocatesLessThanGrouping(t *testing.T) {
+	type wide struct {
+		k       int
+		payload [14]uint64
+	}
+	r := rand.New(rand.NewSource(41))
+	items := make([]wide, 50000)
+	for i := range items {
+		items[i] = wide{k: r.Intn(5000)}
+	}
+	key := func(v wide) int { return v.k }
+	cfg := &Config{Procs: 1, Seed: 7}
+
+	fused := bytesPerRun(3, func() {
+		if _, err := CountBy(items, key, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	grouped := bytesPerRun(3, func() {
+		if _, err := CollectGroups(items, key, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if fused >= 0.8*grouped {
+		t.Errorf("fused CountBy bytes/run = %.0f, CollectGroups = %.0f; want fused meaningfully smaller", fused, grouped)
+	}
+}

@@ -27,11 +27,19 @@ type sortResult struct {
 	panicVal any
 }
 
-// runSort executes the semisort on wk's workspace, converting a handler
-// panic (including the injected ServerHandlerPanic) into a result instead
-// of letting it unwind into net/http — net/http would recover it too, but
+// sumReducer is the /v1/reduce op=sum aggregation: per key, the uint64
+// sum of record values (wrapping).
+var sumReducer = semisort.Reducer{
+	Fold:  func(acc, v uint64) uint64 { return acc + v },
+	Merge: func(a, b uint64) uint64 { return a + b },
+}
+
+// runSort executes the semisort — or, when req carries a reduce op, the
+// fused reduction — on wk's workspace, converting a handler panic
+// (including the injected ServerHandlerPanic) into a result instead of
+// letting it unwind into net/http — net/http would recover it too, but
 // then the connection dies without a response and the worker would leak.
-func (s *Server) runSort(ctx context.Context, wk *Worker, tenant string, recs []semisort.Record) (res sortResult) {
+func (s *Server) runSort(ctx context.Context, wk *Worker, req *request) (res sortResult) {
 	defer func() {
 		if v := recover(); v != nil {
 			res.panicked, res.panicVal = true, v
@@ -42,11 +50,28 @@ func (s *Server) runSort(ctx context.Context, wk *Worker, tenant string, recs []
 	}
 	cfg := s.cfg.Semisort
 	cfg.Context = ctx
-	cfg.MaxRetainedBytes = s.pool.workerBudget(tenant)
-	// SortShared: the output lives in the workspace (zero allocations in
-	// steady state) and is written to the response before Release; the
-	// retained-bytes budget covers it like any other scratch buffer.
-	out, st, err := wk.sorter.SortConfigShared(recs, &cfg)
+	cfg.MaxRetainedBytes = s.pool.workerBudget(req.tenant)
+	// Shared-output calls: the output lives in the workspace (zero
+	// allocations in steady state) and is written to the response before
+	// Release; the retained-bytes budget covers it like any other scratch
+	// buffer.
+	var (
+		out []semisort.Record
+		st  semisort.Stats
+		err error
+	)
+	switch req.op {
+	case "":
+		out, st, err = wk.sorter.SortConfigShared(req.recs, &cfg)
+	case "count":
+		out, st, err = wk.sorter.HistogramConfigShared(req.recs, &cfg)
+	case "sum":
+		out, st, err = wk.sorter.ReduceConfigShared(req.recs, sumReducer, &cfg)
+	default:
+		// handleReduce validates the op before admission; reaching here is
+		// a programming error, reported rather than panicking.
+		err = fmt.Errorf("unknown reduce op %q", req.op)
+	}
 	res.out, res.stats, res.err = out, st, err
 	return res
 }
@@ -58,6 +83,9 @@ type request struct {
 	tenant  string
 	recs    []semisort.Record
 	started time.Time
+	// op selects the worker-side operation: "" for a plain semisort,
+	// "count" or "sum" for the /v1/reduce aggregations.
+	op string
 }
 
 // accept runs the shared front half of every sort endpoint: fault check,
@@ -147,7 +175,7 @@ func (s *Server) sortThrough(w http.ResponseWriter, req *request, ctx context.Co
 	}
 
 	sortStart := time.Now()
-	res := s.runSort(ctx, wk, req.tenant, req.recs)
+	res := s.runSort(ctx, wk, req)
 	req.span.SortUS = time.Since(sortStart).Microseconds()
 
 	if res.panicked {
@@ -213,6 +241,28 @@ func (s *Server) finish(w http.ResponseWriter, req *request, status int, outcome
 	s.trace(req.span)
 }
 
+// emitRecords streams res.out as raw 16-byte records — the success
+// response of the record-out endpoints.
+func emitRecords(w http.ResponseWriter, res sortResult) (int64, error) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(res.out)*rec.RecordSize))
+	var written int64
+	const chunk = 4096
+	buf := make([]byte, 0, chunk*rec.RecordSize)
+	out := res.out
+	for len(out) > 0 {
+		n := min(len(out), chunk)
+		buf = rec.AppendRecords(buf[:0], out[:n])
+		m, err := w.Write(buf)
+		written += int64(m)
+		if err != nil {
+			return written, err
+		}
+		out = out[n:]
+	}
+	return written, nil
+}
+
 // handleSemisort is POST /v1/semisort: raw 16-byte records in, the same
 // records semisorted out.
 func (s *Server) handleSemisort(w http.ResponseWriter, r *http.Request) {
@@ -222,23 +272,32 @@ func (s *Server) handleSemisort(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	s.sortThrough(w, req, ctx, func(res sortResult) (int64, error) {
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("Content-Length", strconv.Itoa(len(res.out)*rec.RecordSize))
-		var written int64
-		const chunk = 4096
-		buf := make([]byte, 0, chunk*rec.RecordSize)
-		out := res.out
-		for len(out) > 0 {
-			n := min(len(out), chunk)
-			buf = rec.AppendRecords(buf[:0], out[:n])
-			m, err := w.Write(buf)
-			written += int64(m)
-			if err != nil {
-				return written, err
-			}
-			out = out[n:]
-		}
-		return written, nil
+		return emitRecords(w, res)
+	})
+}
+
+// handleReduce is POST /v1/reduce: raw records in, one record per
+// distinct key out, aggregated fused on the worker (docs/AGGREGATION.md).
+// The op query parameter selects the aggregation: "count" (the default;
+// Value = the key's multiplicity) or "sum" (Value = the wrapping uint64
+// sum of the key's record values). Any other op is a 400.
+func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	req, ctx, cancel := s.accept(w, r)
+	if req == nil {
+		return
+	}
+	defer cancel()
+	switch op := r.URL.Query().Get("op"); op {
+	case "", "count":
+		req.op = "count"
+	case "sum":
+		req.op = "sum"
+	default:
+		s.finish(w, req, http.StatusBadRequest, obsv.ReqBadInput, fmt.Sprintf("unknown op %q", op))
+		return
+	}
+	s.sortThrough(w, req, ctx, func(res sortResult) (int64, error) {
+		return emitRecords(w, res)
 	})
 }
 

@@ -172,6 +172,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/semisort", s.handleSemisort)
 	mux.HandleFunc("POST /v1/groupby", s.handleGroupBy)
+	mux.HandleFunc("POST /v1/reduce", s.handleReduce)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux

@@ -100,6 +100,71 @@ func TestGroupByEndpoint(t *testing.T) {
 	}
 }
 
+func TestReduceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 1})
+	// 100 records, 10 distinct keys, 10 each, values = input index.
+	in := make([]semisort.Record, 100)
+	wantSum := map[uint64]uint64{}
+	for i := range in {
+		in[i] = semisort.Record{Key: uint64(i % 10), Value: uint64(i)}
+		wantSum[uint64(i%10)] += uint64(i)
+	}
+
+	decode := func(resp *http.Response) map[uint64]uint64 {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := rec.DecodeRecords(nil, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[uint64]uint64{}
+		for _, r := range out {
+			if _, dup := m[r.Key]; dup {
+				t.Fatalf("key %d appears in two groups", r.Key)
+			}
+			m[r.Key] = r.Value
+		}
+		return m
+	}
+
+	// Default op is count: one record per key, Value = multiplicity.
+	counts := decode(postRecords(t, ts.URL+"/v1/reduce", encodeRecords(in), nil))
+	if len(counts) != 10 {
+		t.Fatalf("count groups = %d, want 10", len(counts))
+	}
+	for k, c := range counts {
+		if c != 10 {
+			t.Fatalf("count[%d] = %d, want 10", k, c)
+		}
+	}
+
+	// op=sum: Value = uint64 sum of the key's record values.
+	sums := decode(postRecords(t, ts.URL+"/v1/reduce?op=sum", encodeRecords(in), nil))
+	if len(sums) != 10 {
+		t.Fatalf("sum groups = %d, want 10", len(sums))
+	}
+	for k, want := range wantSum {
+		if sums[k] != want {
+			t.Fatalf("sum[%d] = %d, want %d", k, sums[k], want)
+		}
+	}
+
+	// An unknown op is rejected before admission.
+	resp := postRecords(t, ts.URL+"/v1/reduce?op=median", encodeRecords(in), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op status = %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	_, ts := newTestServer(t, Config{PoolSize: 1, MaxRequestBytes: 1024})
 

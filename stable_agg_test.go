@@ -141,9 +141,13 @@ func TestSumBy(t *testing.T) {
 
 func TestReduceBy(t *testing.T) {
 	words := []string{"x", "yy", "x", "zzz", "yy", "x"}
-	// Per word, accumulate total rune length of all occurrences.
+	// Per word, accumulate total rune length of all occurrences (fused:
+	// length sums form a commutative monoid, so Merge is just +).
 	got, err := ReduceBy(words, func(s string) string { return s },
-		func(acc int, s string) int { return acc + len(s) }, nil)
+		Reduction[string, int]{
+			Fold:  func(acc int, s string) int { return acc + len(s) },
+			Merge: func(a, b int) int { return a + b },
+		}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
