@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke fuzz check stress soak-smoke repro repro-quick examples clean
+.PHONY: all build vet test race cover bench bench-smoke fuzz check stress sweep soak-smoke repro repro-quick examples clean
 
 all: build vet test
 
@@ -30,6 +30,13 @@ stress:
 	for p in 1 2 8; do \
 		GOMAXPROCS=$$p $(GO) test -race -count=3 -short ./internal/core/... ./internal/parallel/... || exit 1; \
 	done
+
+# sweep runs the duplication-spectrum differential suite twice (the
+# second pass exercises warm-workspace reuse on the same process) plus
+# the planner-resolution tests — the acceptance gate for the
+# skew-adaptive dovetail route.
+sweep:
+	$(GO) test -race -count=2 -run 'Spectrum|Dovetail' ./internal/core/ .
 
 # soak-smoke mirrors the CI job of the same name: a short leak-gated soak
 # of the resident server under the race detector — mixed distributions,

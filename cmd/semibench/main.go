@@ -13,7 +13,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5
 // seqbaselines rrcompare schedulers ablation scatter faults observe reuse
-// localsort reduce all.
+// localsort reduce dovetail all.
 package main
 
 import (
@@ -47,13 +47,14 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 	"reuse":        bench.RunReuse,
 	"localsort":    bench.RunLocalSort,
 	"reduce":       bench.RunReduce,
+	"dovetail":     bench.RunDovetail,
 }
 
 // order fixes a deterministic run order for -experiment all.
 var order = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "seqbaselines", "rrcompare", "schedulers", "ablation",
-	"scatter", "faults", "observe", "reuse", "localsort", "reduce",
+	"scatter", "faults", "observe", "reuse", "localsort", "reduce", "dovetail",
 }
 
 func main() {

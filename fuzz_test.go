@@ -108,6 +108,14 @@ func FuzzConfigs(f *testing.F) {
 	f.Add(uint8(16), uint8(16), uint16(1024), false, false, uint8(0), uint8(2))
 	f.Add(uint8(1), uint8(1), uint16(1), true, true, uint8(0), uint8(2))
 	f.Add(uint8(63), uint8(2), uint16(65535), false, true, uint8(0), uint8(2))
+	// Dovetail seeds straddling the planner threshold: rate 1 samples
+	// everything (37 keys × ~81 records each dominate any Delta ≤ 64 →
+	// re-routed to counting); a sparse sample with small Delta finds a
+	// partial heavy set (split + radix); a sparse sample with large Delta
+	// finds none (pure radix).
+	f.Add(uint8(1), uint8(16), uint16(1024), false, false, uint8(0), uint8(3))
+	f.Add(uint8(63), uint8(2), uint16(1024), false, false, uint8(0), uint8(3))
+	f.Add(uint8(63), uint8(63), uint16(65535), true, true, uint8(0), uint8(3))
 
 	base := make([]rec.Record, 3000)
 	for i := range base {
@@ -125,7 +133,7 @@ func FuzzConfigs(f *testing.F) {
 			ExactBucketSizes:     exact,
 			Probe:                core.ProbeKind(probe % 2),
 			LocalSort:            core.LocalSortKind(probe % 2),
-			ScatterStrategy:      core.ScatterStrategy(strat % 3),
+			ScatterStrategy:      core.ScatterStrategy(strat % 4),
 			Seed:                 uint64(rate) ^ uint64(buckets),
 		}
 		out, _, err := core.Semisort(base, cfg)

@@ -116,15 +116,40 @@ func MeasureBaseline(o Options) Baseline {
 		}
 	}
 
+	// Dovetail path: the radix route's minima on the all-light uniform
+	// workload, where the planner hands the whole input to the recursion.
+	// Same key convention as counting_*: newer baselines gate them, older
+	// baselines without the keys still compare cleanly.
+	dovetail := map[string]time.Duration{}
+	for r := 0; r < o.Reps; r++ {
+		_, st, err := core.SemisortWS(&ws, a, &core.Config{Procs: P, Seed: o.Seed + 7,
+			ScatterStrategy: core.ScatterDovetail})
+		if err != nil {
+			panic(err)
+		}
+		for name, d := range map[string]time.Duration{
+			"dovetail_scatter":   st.Phases.Scatter,
+			"dovetail_localsort": st.Phases.LocalSort,
+			"dovetail_total":     st.Phases.Total(),
+		} {
+			if old, ok := dovetail[name]; !ok || d < old {
+				dovetail[name] = d
+			}
+		}
+	}
+
 	b := Baseline{
 		N: o.N, Procs: P, Reps: o.Reps, Seed: o.Seed,
-		PhasesSec: make(map[string]float64, len(phases)+len(counting)),
+		PhasesSec: make(map[string]float64, len(phases)+len(counting)+len(dovetail)),
 		TotalSec:  total.Seconds(),
 	}
 	for name, d := range phases {
 		b.PhasesSec[name] = d.Seconds()
 	}
 	for name, d := range counting {
+		b.PhasesSec[name] = d.Seconds()
+	}
+	for name, d := range dovetail {
 		b.PhasesSec[name] = d.Seconds()
 	}
 
@@ -176,6 +201,16 @@ func MeasureBaseline(o Options) Baseline {
 		"counting": allocsPerOp(allocReps, func() {
 			if _, _, err := core.SemisortWS(&ws, exp, &core.Config{Procs: 1, Seed: o.Seed + 7,
 				ScatterStrategy: core.ScatterCounting}); err != nil {
+				panic(err)
+			}
+		}),
+		// The dovetail route threads its radix scratch through the
+		// workspace, so a warm run allocates only what the other
+		// strategies do; a recursion buffer escaping the workspace
+		// shows up here first.
+		"dovetail": allocsPerOp(allocReps, func() {
+			if _, _, err := core.SemisortWS(&ws, a, &core.Config{Procs: 1, Seed: o.Seed + 7,
+				ScatterStrategy: core.ScatterDovetail}); err != nil {
 				panic(err)
 			}
 		}),

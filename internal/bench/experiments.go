@@ -49,7 +49,9 @@ func radixTime(a []rec.Record, procs, reps int) time.Duration {
 	scratch := make([]rec.Record, len(a))
 	return timeIt(reps, func() {
 		copy(buf, a)
-		sortint.RadixSortWith(procs, buf, scratch)
+		if err := sortint.RadixSortWith(procs, buf, scratch); err != nil {
+			panic(err)
+		}
 	})
 }
 

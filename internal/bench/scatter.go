@@ -28,7 +28,7 @@ func RunScatter(o Options) []*Table {
 		{"zipfian M=10^4", distgen.Spec{Kind: distgen.Zipfian, Param: 1e4}},
 		{"uniform N=16 (few heavy)", distgen.Spec{Kind: distgen.Uniform, Param: 16}},
 	}
-	strategies := []core.ScatterStrategy{core.ScatterProbing, core.ScatterCounting, core.ScatterAuto}
+	strategies := []core.ScatterStrategy{core.ScatterProbing, core.ScatterCounting, core.ScatterAuto, core.ScatterDovetail}
 
 	tab := &Table{
 		Title: fmt.Sprintf("Scatter strategies — probing vs counting, n=%d, p=%d", o.N, P),

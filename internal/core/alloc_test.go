@@ -34,7 +34,7 @@ var allocKinds = []LocalSortKind{LocalSortHybrid, LocalSortCounting, LocalSortBu
 
 func TestSteadyStateAllocsWS(t *testing.T) {
 	const n = 60000
-	for _, strat := range []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting} {
+	for _, strat := range []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting, ScatterDovetail} {
 		for _, kind := range allocKinds {
 			for _, d := range allocDists(n) {
 				t.Run(fmt.Sprintf("%v/%v/%s", strat, kind, d.name), func(t *testing.T) {
@@ -63,7 +63,7 @@ func TestSteadyStateAllocsWS(t *testing.T) {
 
 func TestSteadyStateAllocsShared(t *testing.T) {
 	const n = 60000
-	for _, strat := range []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting} {
+	for _, strat := range []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting, ScatterDovetail} {
 		for _, kind := range allocKinds {
 			for _, d := range allocDists(n) {
 				t.Run(fmt.Sprintf("%v/%v/%s", strat, kind, d.name), func(t *testing.T) {

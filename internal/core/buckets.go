@@ -119,12 +119,30 @@ func (pl *plan) allocatePhase() error {
 		// The counting scatter writes straight into the output array, so
 		// the attempt allocates no slot slack — only the histogram and
 		// staging scratch, which the same memory cap governs.
-		pl.cplan = planCounting(pl.n, pl.procs, len(buckets))
+		pl.cbins = len(buckets)
+		pl.cplan = planCounting(pl.n, pl.procs, pl.cbins)
 		if c.MaxSlotBytes > 0 && pl.cplan.scratchBytes > c.MaxSlotBytes {
 			pl.stats.Phases.Buckets = time.Since(pl.bucketsT0)
 			pl.tr.span(pl.attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
 			return fmt.Errorf("%w: counting scatter needs %d scratch bytes, cap %d",
 				errSlotCap, pl.cplan.scratchBytes, c.MaxSlotBytes)
+		}
+		pl.stats.SlotsAllocated = pl.n
+	} else if pl.strat == ScatterDovetail {
+		// The dovetail split runs the counting machinery over one bin per
+		// heavy bucket plus a single catch-all bin for every light record,
+		// writing the packed output directly; the light region is then
+		// grouped out-of-place against the workspace radix scratch. No
+		// slot arrays on either side, so the memory cap governs the
+		// counting scratch plus the 16-bytes-per-record radix scratch.
+		pl.cbins = pl.firstLight + 1
+		pl.cplan = planCounting(pl.n, pl.procs, pl.cbins)
+		need := pl.cplan.scratchBytes + int64(pl.n)*16
+		if c.MaxSlotBytes > 0 && need > c.MaxSlotBytes {
+			pl.stats.Phases.Buckets = time.Since(pl.bucketsT0)
+			pl.tr.span(pl.attempt, obsv.PhaseAllocate, tAlloc, obsv.OutcomeCap)
+			return fmt.Errorf("%w: dovetail scatter needs %d scratch bytes, cap %d",
+				errSlotCap, need, c.MaxSlotBytes)
 		}
 		pl.stats.SlotsAllocated = pl.n
 	} else {

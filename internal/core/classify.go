@@ -22,8 +22,9 @@ type heavyRun struct {
 	count int32
 }
 
-// classifyPhase classifies the sample's runs and resolves the scatter
-// strategy from the heavy fraction.
+// classifyPhase classifies the sample's runs and hands the heavy
+// fraction to the skew-adaptive planner (plan.planScatter), which
+// resolves the attempt's scatter strategy.
 func (pl *plan) classifyPhase() error {
 	if err := phaseGate(pl.ctx, "bucket construction"); err != nil {
 		return err
@@ -49,8 +50,7 @@ func (pl *plan) classifyPhase() error {
 
 	_ = pl.tr.labeledPhase(pl, "classify", (*plan).classifyBody)
 
-	pl.strat = resolveScatter(&pl.cfg, int(pl.heavySamples.Load()), pl.ns)
-	pl.stats.ScatterStrategy = pl.strat.String()
+	pl.planScatter()
 	pl.tr.span(pl.attempt, obsv.PhaseClassify, pl.bucketsT0, obsv.OutcomeOK)
 	return nil
 }

@@ -77,6 +77,19 @@ const (
 	// that flush cache-line-sized runs. No CAS, no probing, and no
 	// overflow retries — the offsets are exact, so the path cannot fail.
 	ScatterCounting
+	// ScatterDovetail is the skew-adaptive hybrid: the planner reads the
+	// Phase 1 sample and routes by duplication. A duplicate-heavy top
+	// level resolves to the counting scatter (the radix recursion would
+	// only rediscover the same few heavy keys at every node); otherwise
+	// one deterministic counting pass splits the sampled heavy keys into
+	// packed front groups and the light remainder is grouped by a
+	// top-down MSD radix recursion (internal/sortint's dovetail sort)
+	// that re-samples at every node, pulling that node's heavy keys out
+	// of its distribution pass. Deterministic like the counting scatter;
+	// no CAS, no probing, no overflow retries. Per-node decisions are
+	// reported in Stats.PlannerRoutes. A fused reduce has no dovetail
+	// arm and resolves as Auto would.
+	ScatterDovetail
 )
 
 func (s ScatterStrategy) String() string {
@@ -85,6 +98,8 @@ func (s ScatterStrategy) String() string {
 		return "probing"
 	case ScatterCounting:
 		return "counting"
+	case ScatterDovetail:
+		return "dovetail"
 	default:
 		return "auto"
 	}
@@ -265,10 +280,15 @@ type Stats struct {
 	MaxProbeCluster int
 
 	// ScatterStrategy names the Phase 3 placement the last attempt used:
-	// "probing" or "counting" (ScatterAuto resolves to one of the two
-	// per attempt, from that attempt's sample). Empty only when no
-	// attempt reached Phase 2.
+	// "probing", "counting" or "dovetail" (ScatterAuto resolves to
+	// probing or counting per attempt, from that attempt's sample;
+	// ScatterDovetail resolves to counting under heavy duplication).
+	// Empty only when no attempt reached Phase 2.
 	ScatterStrategy string
+	// PlannerRoutes breaks down the skew-adaptive planner's routing
+	// decisions for the attempt that produced the output. Zero when no
+	// attempt reached Phase 2 or the output came from the fallback.
+	PlannerRoutes PlannerRoutes
 	// ScatterFlushes counts the staging-buffer flushes the counting
 	// scatter performed (full cache-line flushes plus end-of-block
 	// drains); zero on the probing path, when staging was bypassed, and
@@ -312,6 +332,31 @@ type Stats struct {
 	Sched obsv.SchedStats
 }
 
+// PlannerRoutes reports where the skew-adaptive planner sent the records
+// of one attempt. Probing and counting placements are one top-level
+// decision over the whole input; a dovetail placement keeps deciding
+// per recursion node, and its counts accumulate here after Phase 4. A
+// sweep across duplication levels watches these flip from
+// radix-dominant (RadixNodes high, ScatterNodes zero) on near-unique
+// inputs to scatter-dominant (ScatterNodes set, RadixNodes zero) on
+// heavily duplicated ones; see docs/OBSERVABILITY.md.
+type PlannerRoutes struct {
+	// ScatterNodes is 1 when the top level routed to the probing or
+	// counting scatter — including a ScatterDovetail run whose sample
+	// was duplicate-heavy enough to resolve to counting — and 0 when the
+	// dovetail radix path ran.
+	ScatterNodes int
+	// RadixNodes counts dovetail recursion nodes whose sample found no
+	// heavy key, so they ran a plain MSD radix distribution pass.
+	RadixNodes int64
+	// DovetailNodes counts dovetail recursion nodes that pulled heavy
+	// keys out of their distribution pass, plus the pipeline's top-level
+	// heavy/light split when the sample produced heavy buckets.
+	DovetailNodes int64
+	// HeavyKeysDovetailed totals the heavy keys those nodes placed.
+	HeavyKeysDovetailed int64
+}
+
 // ErrOverflow is the sentinel wrapped by overflow-related errors. It
 // escapes SemisortWS only when DisableFallback is set and MaxRetries
 // attempts all overflowed; with fallback enabled (the default) retry
@@ -343,18 +388,32 @@ func (e *overflowError) Unwrap() error { return ErrOverflow }
 // heavy) resolve to counting; uniform N=n (no heavy keys) to probing.
 const autoHeavySampleFrac = 0.5
 
-// resolveScatter picks the Phase 3 placement for one attempt. Non-linear
-// probe kinds parameterize the probing scatter and force it; an empty
-// sample gives Auto nothing to predict with and falls back to probing.
-func resolveScatter(c *Config, heavySamples, ns int) ScatterStrategy {
+// resolveScatter picks the Phase 3 placement for one attempt — the
+// planner's top-level route. Non-linear probe kinds parameterize the
+// probing scatter and force it; an empty sample gives Auto nothing to
+// predict with and falls back to probing. ScatterDovetail is itself a
+// per-attempt decision: a duplicate-heavy sample routes the whole input
+// to the counting scatter (the radix recursion would rediscover the same
+// few heavy keys at every node while paying a full distribution pass per
+// level), a fused reduce has no dovetail arm and resolves as Auto, and
+// everything else takes the dovetail radix path.
+func resolveScatter(c *Config, heavySamples, ns int, fused bool) ScatterStrategy {
 	if c.Probe != ProbeLinear {
 		return ScatterProbing
 	}
+	heavyDominated := ns > 0 && float64(heavySamples) >= autoHeavySampleFrac*float64(ns)
 	switch c.ScatterStrategy {
 	case ScatterProbing, ScatterCounting:
 		return c.ScatterStrategy
+	case ScatterDovetail:
+		if !fused {
+			if heavyDominated {
+				return ScatterCounting
+			}
+			return ScatterDovetail
+		}
 	}
-	if ns > 0 && float64(heavySamples) >= autoHeavySampleFrac*float64(ns) {
+	if heavyDominated {
 		return ScatterCounting
 	}
 	return ScatterProbing

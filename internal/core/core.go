@@ -17,12 +17,16 @@
 //     keys in a phase-concurrent hash table. Adjacent light buckets with
 //     fewer than Delta samples are merged (the ~10% memory optimization of
 //     Phase 2).
-//  3. Scattering (scatter_probing.go, scatter_counting.go): write every
-//     record to a pseudo-random slot of its bucket, claiming slots with
-//     compare-and-swap and linear probing on collision — or, when
-//     Config.ScatterStrategy selects (or the sample predicts) heavy
-//     duplication, place records with a deterministic two-pass counting
-//     scatter that computes exact per-bucket offsets and needs no atomics.
+//  3. Scattering (scatter_probing.go, scatter_counting.go,
+//     scatter_dovetail.go): write every record to a pseudo-random slot of
+//     its bucket, claiming slots with compare-and-swap and linear probing
+//     on collision — or, when Config.ScatterStrategy selects (or the
+//     sample predicts) heavy duplication, place records with a
+//     deterministic two-pass counting scatter that computes exact
+//     per-bucket offsets and needs no atomics. A third, skew-adaptive
+//     route (ScatterDovetail) splits the sampled heavy keys into packed
+//     front groups with one counting pass and hands the light remainder
+//     to a top-down MSD radix recursion that keeps re-deciding per node.
 //  4. Local sort (localsort.go): compact each light bucket and semisort it
 //     locally (hybrid comparison sort by default, or the Rajasekaran–Reif
 //     style naming + two-pass counting sort).
@@ -33,7 +37,7 @@
 // The per-attempt state threading the stages together is the plan
 // (plan.go); every buffer the stages touch is owned by the Workspace
 // (workspace.go), so a warm workspace executes the whole pipeline without
-// allocating. The two Phase 3 placements implement one scatterStage
+// allocating. The three Phase 3 placements implement one scatterStage
 // contract; each determines how Phases 4 and 5 traverse its layout.
 //
 // A scatter overflow (a bucket smaller than its actual multiplicity, which

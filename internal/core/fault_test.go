@@ -328,6 +328,151 @@ func TestCountingStatsInvariants(t *testing.T) {
 	}
 }
 
+// The dovetail route, like the counting scatter, has no probe slack and
+// no overflow: the probing-only fault points must never be consulted,
+// and a clean run's stats must satisfy the path's invariants.
+func TestDovetailStatsInvariants(t *testing.T) {
+	a := mkRecords(30000, 0, 43) // unique keys: the radix route
+	inj := fault.New(1).
+		Arm(fault.ScatterOverflow, 0, 100).
+		Arm(fault.ProbeSaturation, 0, 100)
+	withInjector(t, inj)
+	out, stats, err := Semisort(a, &Config{Procs: 2, ScatterStrategy: ScatterDovetail})
+	if err != nil {
+		t.Fatalf("dovetail semisort under armed overflow faults: %v", err)
+	}
+	checkSemisorted(t, "dovetail vs overflow faults", a, out)
+	if stats.ScatterStrategy != "dovetail" {
+		t.Fatalf("ScatterStrategy = %q, want dovetail", stats.ScatterStrategy)
+	}
+	if stats.Attempts != 1 || stats.Retries != 0 || stats.FallbackUsed {
+		t.Errorf("Attempts=%d Retries=%d FallbackUsed=%v, want 1/0/false", stats.Attempts, stats.Retries, stats.FallbackUsed)
+	}
+	if stats.OverflowedBuckets != 0 || stats.OverflowDeficit != 0 || stats.MaxProbeCluster != 0 {
+		t.Errorf("overflow/probe stats non-zero on the dovetail path: %+v", stats)
+	}
+	if stats.SlotsAllocated != len(a) {
+		t.Errorf("SlotsAllocated = %d, want n=%d (dovetail writes straight to output)",
+			stats.SlotsAllocated, len(a))
+	}
+	if stats.PlannerRoutes.ScatterNodes != 0 || stats.PlannerRoutes.RadixNodes == 0 {
+		t.Errorf("unique keys routed wrong: %+v", stats.PlannerRoutes)
+	}
+	if f := inj.Fired(fault.ScatterOverflow) + inj.Fired(fault.ProbeSaturation); f != 0 {
+		t.Errorf("probing fault points fired %d times on the dovetail path", f)
+	}
+}
+
+// An injected fault at a radix recursion node must abort the attempt with
+// a wrapped ErrInjected — not retry (the dovetail path has no Las Vegas
+// ladder) and not fall back — and leave the workspace reusable.
+func TestInjectedRadixNodeAborts(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := mkRecords(200000, 0, 47)
+	for _, procs := range []int{1, 4} {
+		ws := &Workspace{}
+		inj := fault.New(1).Arm(fault.RadixNode, 0, 1)
+		fault.Enable(inj)
+		out, stats, err := SemisortWS(ws, a, &Config{Procs: procs, ScatterStrategy: ScatterDovetail})
+		fault.Disable()
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("procs=%d: err = %v, want wrapped ErrInjected", procs, err)
+		}
+		if out != nil {
+			t.Errorf("procs=%d: output non-nil alongside an injected error", procs)
+		}
+		if inj.Fired(fault.RadixNode) != 1 {
+			t.Errorf("procs=%d: RadixNode fired %d times, want 1", procs, inj.Fired(fault.RadixNode))
+		}
+		if stats.Attempts != 1 || stats.FallbackUsed {
+			t.Errorf("procs=%d: Attempts=%d FallbackUsed=%v, want 1/false (not retryable)",
+				procs, stats.Attempts, stats.FallbackUsed)
+		}
+		// The workspace must come back clean: a run with injection off
+		// produces a correct grouping through the same buffers.
+		out, stats, err = SemisortWS(ws, a, &Config{Procs: procs, ScatterStrategy: ScatterDovetail})
+		if err != nil {
+			t.Fatalf("procs=%d: clean run after injected abort: %v", procs, err)
+		}
+		checkSemisorted(t, "post-injection reuse", a, out)
+		if stats.Retries != 0 || stats.FallbackUsed {
+			t.Errorf("procs=%d: clean run shows recovery activity: %+v", procs, stats)
+		}
+	}
+	checkNoLeak(t, base)
+}
+
+// Cancellation raised from inside the radix recursion (the RadixNode
+// gate doubles as a pass-boundary context check) must surface as
+// context.Canceled from the local-sort phase.
+func TestDovetailCancellationMidRecursion(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := mkRecords(200000, 0, 53)
+	for _, procs := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		inj := fault.New(1).Arm(fault.RadixNode, 0, 1)
+		inj.OnFire(fault.RadixNode, cancel)
+		fault.Enable(inj)
+		out, _, err := Semisort(a, &Config{Procs: procs, Context: ctx, ScatterStrategy: ScatterDovetail})
+		fault.Disable()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("procs=%d: err = %v, want context.Canceled", procs, err)
+		}
+		if out != nil {
+			t.Errorf("procs=%d: output non-nil after cancellation", procs)
+		}
+	}
+	checkNoLeak(t, base)
+}
+
+// A worker panic inside a dovetail run (the split's counting passes or
+// the recursion's fork–join) must surface as a wrapped PanicError with
+// no output and no leaked goroutines, exactly like the other paths.
+func TestDovetailWorkerPanic(t *testing.T) {
+	for _, first := range []int{0, 2} {
+		base := runtime.NumGoroutine()
+		a := mkRecords(200000, 0, 19)
+		withInjector(t, fault.New(1).Arm(fault.WorkerPanic, first, 1))
+		out, _, err := Semisort(a, &Config{Procs: 4, ScatterStrategy: ScatterDovetail})
+		fault.Disable()
+		if err == nil {
+			t.Fatalf("occurrence %d: injected worker panic produced no error", first)
+		}
+		var pe *parallel.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("occurrence %d: err = %v, want a wrapped *parallel.PanicError", first, err)
+		}
+		if out != nil {
+			t.Errorf("occurrence %d: output non-nil alongside a panic error", first)
+		}
+		checkNoLeak(t, base)
+	}
+}
+
+// The scratch cap prices the dovetail split's histograms plus the radix
+// scratch; an unmeetable MaxSlotBytes aborts before allocation and
+// degrades to the fallback in a single attempt.
+func TestDovetailSlotCapFallsBack(t *testing.T) {
+	a := mkRecords(30000, 0, 13)
+	out, stats, err := Semisort(a, &Config{Procs: 2, MaxSlotBytes: 512, ScatterStrategy: ScatterDovetail})
+	if err != nil {
+		t.Fatalf("scratch-capped dovetail semisort: %v", err)
+	}
+	checkSemisorted(t, "dovetail scratch cap", a, out)
+	if !stats.FallbackUsed {
+		t.Error("FallbackUsed = false under an unmeetable scratch cap")
+	}
+	if stats.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 (cap abort is not retryable)", stats.Attempts)
+	}
+
+	_, _, err = Semisort(a, &Config{Procs: 2, MaxSlotBytes: 512, ScatterStrategy: ScatterDovetail, DisableFallback: true})
+	if !errors.Is(err, ErrOverflow) {
+		t.Fatalf("capped + DisableFallback err = %v, want ErrOverflow", err)
+	}
+}
+
 func TestRecoveryDisabledInjectorIsClean(t *testing.T) {
 	// A run right after injection is disabled must behave as if the fault
 	// package were never there.

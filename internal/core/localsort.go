@@ -45,6 +45,11 @@ func (pl *plan) localSortPhase(st scatterStage) error {
 		return err
 	}
 	ph, kernel := obsv.PhaseLocalSort, pl.cfg.LocalSort.String()
+	if pl.strat == ScatterDovetail {
+		// The dovetail route ignores Config.LocalSort: its Phase 4 is the
+		// radix recursion over the light region.
+		kernel = "radix"
+	}
 	if pl.red != nil {
 		ph, kernel = obsv.PhaseReduce, "reduce"
 	}

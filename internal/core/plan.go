@@ -22,6 +22,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/parallel"
 	"repro/internal/rec"
+	"repro/internal/sortint"
 )
 
 // A scatterStage is one Phase 3 placement algorithm together with the
@@ -45,10 +46,28 @@ type scatterStage interface {
 
 // stageFor maps a resolved strategy to its stage implementation.
 func stageFor(s ScatterStrategy) scatterStage {
-	if s == ScatterCounting {
+	switch s {
+	case ScatterCounting:
 		return countingStage{}
+	case ScatterDovetail:
+		return dovetailStage{}
 	}
 	return probingStage{}
+}
+
+// planScatter is the skew-adaptive planner's top-level decision: it
+// consumes the Phase 1 sample — via the heavy-sample fraction the
+// classify pass accumulated — and routes the attempt to a Phase 3
+// placement, recording the choice in Stats. A probing or counting route
+// decides the whole input at once (one scatter node); under
+// ScatterDovetail the radix recursion keeps planning per node, and its
+// decisions merge into Stats.PlannerRoutes after Phase 4.
+func (pl *plan) planScatter() {
+	pl.strat = resolveScatter(&pl.cfg, int(pl.heavySamples.Load()), pl.ns, pl.red != nil)
+	pl.stats.ScatterStrategy = pl.strat.String()
+	if pl.strat != ScatterDovetail {
+		pl.stats.PlannerRoutes.ScatterNodes = 1
+	}
 }
 
 // A plan is the mutable state of one Las Vegas attempt: the resolved
@@ -117,13 +136,19 @@ type plan struct {
 	maxCluster  atomic.Int64
 	ofMu        sync.Mutex
 	ofBuckets   map[int32]int32
-	// Counting scatter.
+	// Counting scatter (shared by the dovetail split, which runs the
+	// same two-pass machinery over cbins = firstLight+1 bins instead of
+	// one bin per bucket).
 	cplan       countingPlan
+	cbins       int // histogram width of the counting passes
 	hist        []int32
 	counts      []int32
 	cbase       []int32
 	flushes     atomic.Int64
 	placedTotal int
+	// Dovetail placement (scatter_dovetail.go).
+	heavyEnd int                   // records in the packed heavy prefix
+	dov      sortint.DovetailStats // radix recursion routing counters
 
 	// Phase 4 size-aware schedule (both paths).
 	lsCum    []int64
@@ -197,9 +222,12 @@ func (pl *plan) begin(ws *Workspace, a, dst []rec.Record, c *Config, sampleAttem
 	pl.maxCluster.Store(0)
 	pl.ofBuckets = nil
 	pl.cplan = countingPlan{}
+	pl.cbins = 0
 	pl.hist, pl.counts, pl.cbase = nil, nil, nil
 	pl.flushes.Store(0)
 	pl.placedTotal = 0
+	pl.heavyEnd = 0
+	pl.dov = sortint.DovetailStats{}
 
 	pl.lsCum, pl.lsBounds, pl.lsRanges = nil, nil, 0
 	pl.lightCnt, pl.lightOffsets, pl.packCounts = nil, nil, nil

@@ -106,7 +106,7 @@ func (countingStage) scatter(pl *plan) error {
 // countingScatterBody runs both passes and the cursor conversion between
 // them. bucketOf must be pure and return ids in [0, len(buckets)).
 func (pl *plan) countingScatterBody() error {
-	nb := len(pl.buckets)
+	nb := pl.cbins
 	pl.hist = pl.ws.getHist(pl.cplan.nblocks * nb)
 
 	// Pass 1: one bucket histogram per block.
@@ -133,7 +133,7 @@ func (pl *plan) countingScatterBody() error {
 }
 
 func (pl *plan) countingHistChunk(blo, bhi int) {
-	nb := len(pl.buckets)
+	nb := pl.cbins
 	var bids [probeBatch]int64
 	var heavy [probeBatch]bool
 	for blk := blo; blk < bhi; blk++ {
@@ -150,7 +150,7 @@ func (pl *plan) countingHistChunk(blo, bhi int) {
 }
 
 func (pl *plan) countingTotalsChunk(lo, hi int) {
-	nb := len(pl.buckets)
+	nb := pl.cbins
 	for b := lo; b < hi; b++ {
 		var s int32
 		for blk := 0; blk < pl.cplan.nblocks; blk++ {
@@ -161,7 +161,7 @@ func (pl *plan) countingTotalsChunk(lo, hi int) {
 }
 
 func (pl *plan) countingCursorChunk(lo, hi int) {
-	nb := len(pl.buckets)
+	nb := pl.cbins
 	for b := lo; b < hi; b++ {
 		run := pl.cbase[b]
 		for blk := 0; blk < pl.cplan.nblocks; blk++ {
@@ -173,7 +173,7 @@ func (pl *plan) countingCursorChunk(lo, hi int) {
 }
 
 func (pl *plan) countingPassChunk(blo, bhi int) {
-	nb := len(pl.buckets)
+	nb := pl.cbins
 	var nf int64
 	var bids [probeBatch]int64
 	var heavy [probeBatch]bool

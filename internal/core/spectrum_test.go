@@ -1,0 +1,155 @@
+package core
+
+// Duplication-spectrum differential suite for the skew-adaptive planner.
+// The sweep walks the distinct-key fraction from 2^0 (every key unique)
+// down to 2^-20 (massive duplication) and asserts, at every point, that
+// the dovetail route (a) groups exactly like the sequential reference,
+// (b) is byte-deterministic across worker counts, and (c) routes the way
+// the planner promises: radix-dominant on the near-unique end, a single
+// counting split on the duplicate-heavy end, with Stats.PlannerRoutes
+// recording the flip. This is the acceptance gate for dovetailing the
+// radix sorter into the semisort pipeline.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hash"
+	"repro/internal/rec"
+	"repro/internal/seqsemi"
+)
+
+// spectrumInput draws n records whose keys are sampled uniformly from a
+// pool of max(1, n>>exp) hashed keys: exp = 0 is all-distinct in
+// expectation, exp = 20 collapses every practical n onto one key.
+func spectrumInput(n, exp int, seed int64) []rec.Record {
+	pool := n >> exp
+	if pool < 1 {
+		pool = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	f := hash.NewFamily(uint64(seed) + 1)
+	a := make([]rec.Record, n)
+	for i := range a {
+		a[i] = rec.Record{Key: f.Hash(uint64(r.Int63n(int64(pool)))), Value: uint64(i)}
+	}
+	return a
+}
+
+// TestDovetailDuplicationSpectrum is the full sweep: for each
+// (n, distinct-fraction) point the dovetail output is compared against
+// the sequential reference and against itself at GOMAXPROCS-style worker
+// counts 1, 2 and 8.
+func TestDovetailDuplicationSpectrum(t *testing.T) {
+	for _, n := range []int{1000, 100000} {
+		for exp := 0; exp <= 20; exp += 4 {
+			a := spectrumInput(n, exp, int64(1000*n+exp))
+			ref := seqsemi.TwoPhase(append([]rec.Record(nil), a...))
+			refKeys := rec.KeyCounts(ref)
+
+			var first []rec.Record
+			for _, procs := range []int{1, 2, 8} {
+				label := fmt.Sprintf("n=%d/exp=%d/procs=%d", n, exp, procs)
+				out, stats, err := Semisort(a, &Config{Procs: procs, Seed: 11, ScatterStrategy: ScatterDovetail})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				sameGrouping(t, label, a, out, refKeys)
+				if first == nil {
+					first = out
+				} else {
+					for i := range out {
+						if out[i] != first[i] {
+							t.Fatalf("%s: diverges from procs=1 at index %d: %v vs %v",
+								label, i, out[i], first[i])
+						}
+					}
+				}
+				// On the radix route the split and the recursion are both
+				// stable, so payloads must appear in input order. (The
+				// counting route makes no within-group order promise — its
+				// local sort may reorder equal keys.)
+				if stats.ScatterStrategy == "dovetail" {
+					rec.Runs(out, func(start, end int) {
+						for i := start + 1; i < end; i++ {
+							if out[i].Value < out[i-1].Value {
+								t.Fatalf("%s: group at [%d,%d) not in input order at %d",
+									label, start, end, i)
+							}
+						}
+					})
+				}
+
+				routes := stats.PlannerRoutes
+				total := routes.RadixNodes + routes.DovetailNodes + int64(routes.ScatterNodes)
+				if total == 0 {
+					t.Fatalf("%s: PlannerRoutes empty: %+v", label, routes)
+				}
+				switch {
+				case exp == 0:
+					// Near-unique: the planner must stay on the radix side —
+					// no top-level counting route, real recursion work.
+					if routes.ScatterNodes != 0 {
+						t.Errorf("%s: unique keys took the scatter route: %+v", label, routes)
+					}
+					if routes.RadixNodes == 0 {
+						t.Errorf("%s: unique keys produced no radix nodes: %+v", label, routes)
+					}
+					if stats.ScatterStrategy != "dovetail" {
+						t.Errorf("%s: ScatterStrategy = %q, want dovetail", label, stats.ScatterStrategy)
+					}
+				case exp >= 20:
+					// Duplicate-heavy: the sample is dominated by heavy keys,
+					// so the planner hands the whole input to the counting
+					// scatter — one scatter node, no radix recursion.
+					if routes.ScatterNodes != 1 || routes.RadixNodes != 0 {
+						t.Errorf("%s: duplicate-heavy input not scatter-routed: %+v", label, routes)
+					}
+					if stats.ScatterStrategy != "counting" {
+						t.Errorf("%s: ScatterStrategy = %q, want counting", label, stats.ScatterStrategy)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpectrumPlannerFlip pins the monotone shape of the planner's
+// decision across the sweep at a fixed n: as duplication rises, the
+// radix share of the routing can only give way to scatter/heavy
+// handling, never the reverse. It asserts the two regimes both actually
+// occur (the sweep straddles the threshold) and that once the planner
+// leaves the pure-radix regime it never returns at higher duplication.
+func TestSpectrumPlannerFlip(t *testing.T) {
+	const n = 100000
+	sawRadixOnly, sawScatter := false, false
+	leftPureRadix := false
+	for exp := 0; exp <= 20; exp++ {
+		a := spectrumInput(n, exp, int64(7000+exp))
+		_, stats, err := Semisort(a, &Config{Procs: 4, Seed: 29, ScatterStrategy: ScatterDovetail})
+		if err != nil {
+			t.Fatalf("exp=%d: %v", exp, err)
+		}
+		r := stats.PlannerRoutes
+		pureRadix := r.ScatterNodes == 0 && r.HeavyKeysDovetailed == 0 && r.RadixNodes > 0
+		if pureRadix {
+			sawRadixOnly = true
+			if leftPureRadix {
+				t.Errorf("exp=%d: planner returned to the pure-radix regime after leaving it: %+v", exp, r)
+			}
+		} else {
+			leftPureRadix = true
+		}
+		if r.ScatterNodes == 1 {
+			sawScatter = true
+		}
+		t.Logf("exp=%2d routes=%+v strategy=%s", exp, r, stats.ScatterStrategy)
+	}
+	if !sawRadixOnly {
+		t.Error("sweep never hit the pure-radix regime at low duplication")
+	}
+	if !sawScatter {
+		t.Error("sweep never hit the counting-scatter regime at high duplication")
+	}
+}

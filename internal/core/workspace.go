@@ -47,6 +47,12 @@ type Workspace struct {
 	stageCnt  []uint8      // stageWorkers × nb fill counters, all-zero at rest
 	stageFree chan int     // free-list of staging slot indices
 
+	// Phase 4, dovetail route: scratch for the radix recursion's
+	// out-of-place distribution passes over the light region (one record
+	// per light record; priced against Config.MaxSlotBytes by the
+	// allocate phase).
+	rxScratch []rec.Record
+
 	// Phase 4: per-worker local-sort arenas and the size-aware schedule's
 	// prefix-sum/boundary buffers (localsort.go).
 	lsArenas []lsArena
@@ -249,6 +255,7 @@ func (w *Workspace) RetainedBytes() int64 {
 		cap(w.hist)+cap(w.counts)+cap(w.cbase)) * 4
 	n += int64(cap(w.heavyRuns))*16 + int64(cap(w.buckets))*16
 	n += int64(cap(w.slots))*16 + int64(cap(w.occ))*4
+	n += int64(cap(w.rxScratch)) * 16
 	n += int64(cap(w.stageBuf))*16 + int64(cap(w.stageCnt))
 	arenas := w.lsArenas[:cap(w.lsArenas)]
 	for i := range arenas {
@@ -278,7 +285,7 @@ func (w *Workspace) Release() {
 	w.runStarts, w.runCounts, w.blockHeavy = nil, nil, nil
 	w.heavyRuns, w.lightCounts, w.lightBucketOf = nil, nil, nil
 	w.buckets, w.table, w.boost = nil, nil, nil
-	w.slots, w.occ = nil, nil
+	w.slots, w.occ, w.rxScratch = nil, nil, nil
 	w.hist, w.counts, w.cbase = nil, nil, nil
 	w.stageBuf, w.stageCnt, w.stageFree = nil, nil, nil
 	w.lsArenas, w.lsFree, w.lsCum, w.lsBounds = nil, nil, nil, nil
@@ -301,7 +308,7 @@ func (w *Workspace) shrink(max int64) {
 		return
 	}
 	w.plan.clearRefs() // the plan aliases the buffers being dropped
-	w.slots, w.occ = nil, nil
+	w.slots, w.occ, w.rxScratch = nil, nil, nil
 	w.redStage, w.redStageReps = nil, nil
 	if w.RetainedBytes() <= max {
 		return

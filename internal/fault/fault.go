@@ -71,6 +71,11 @@ const (
 	// discard + pool-recycle path; occurrences count requests that
 	// acquired a workspace.
 	ServerHandlerPanic
+	// RadixNode fires at dovetail radix recursion nodes large enough to
+	// sample for heavy keys, before the node's distribution pass;
+	// occurrences count such nodes. With no OnFire hook the node reports
+	// ErrInjected, cancelling the dovetail local sort cooperatively.
+	RadixNode
 
 	numPoints
 )
@@ -87,6 +92,7 @@ var pointNames = [numPoints]string{
 	"server-accept",
 	"server-admission",
 	"server-handler-panic",
+	"radix-node",
 }
 
 func (p Point) String() string {

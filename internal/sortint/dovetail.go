@@ -1,0 +1,568 @@
+package sortint
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/parallel"
+	"repro/internal/rec"
+)
+
+// Dovetail semisort: a top-down MSD radix recursion that, at every node
+// large enough to sample, detects heavy duplicate keys and "dovetails"
+// them into the distribution pass — records with a heavy key are placed
+// once, contiguously, at the front of the node's range, and no later pass
+// ever touches them again. Light records continue through the ordinary
+// byte-at-a-time recursion. The output is a SEMISORT: every key's records
+// are contiguous and in input order, but heavy groups sit ahead of the
+// byte-ordered light groups of their node, so the array is not sorted by
+// key. This is the DovetailSort design of "Parallel Integer Sort: Theory
+// and Practice" (arXiv 2401.00710) restricted to what a semisort needs.
+const (
+	// Nodes at or above this size sample for heavy keys (and hit the
+	// cancellation/fault gate); below it plain radix recursion finishes
+	// the node — sampling 64 keys from a tiny node is all overhead.
+	dtSampleCutoff = 2048
+	// Keys sampled per node, at fixed strides, so the decision is a pure
+	// function of the node's contents (proc-count independent).
+	dtSampleSize = 64
+	// A sampled key is heavy when it appears at least this many times in
+	// the sample (>= ~6% of the node).
+	dtHeavyHits = 4
+	// At most this many heavy keys are extracted per node; the per-pass
+	// byte mask packs their indices into a uint16.
+	dtMaxHeavy = 16
+	// Distribution bins per dovetail pass: heavy bins first, byte bins after.
+	dtBins = radixBuckets + dtMaxHeavy
+)
+
+// DovetailStats counts the routing decisions of one dovetail semisort.
+// Only nodes large enough to sample (>= dtSampleCutoff records) are
+// counted; smaller nodes finish on plain radix/insertion leaves.
+type DovetailStats struct {
+	// RadixNodes is the number of sampled nodes whose sample showed no
+	// heavy key: the node ran a plain radix pass.
+	RadixNodes int64
+	// DovetailNodes is the number of sampled nodes that extracted at
+	// least one heavy key into the distribution pass.
+	DovetailNodes int64
+	// HeavyKeysPlaced is the total number of distinct heavy keys placed
+	// (summed over dovetail nodes).
+	HeavyKeysPlaced int64
+}
+
+// Add accumulates other into s.
+func (s *DovetailStats) Add(other DovetailStats) {
+	s.RadixNodes += other.RadixNodes
+	s.DovetailNodes += other.DovetailNodes
+	s.HeavyKeysPlaced += other.HeavyKeysPlaced
+}
+
+// dtState carries the per-run shared state of a dovetail semisort:
+// routing counters, the cooperative-cancellation flag, and the first
+// error observed. Workers only ever set canceled and append counters, so
+// a stopped run leaves a (possibly ungrouped) permutation behind.
+type dtState struct {
+	procs    int
+	ctx      context.Context
+	radix    atomic.Int64
+	dovetail atomic.Int64
+	heavy    atomic.Int64
+	canceled atomic.Bool
+	// firstErr is written only by the worker that wins the canceled CAS
+	// in fail, and read only after all workers have joined — no mutex,
+	// which would leak the whole state struct to the heap via Lock's
+	// receiver and tax the zero-allocation serial path.
+	firstErr error
+}
+
+func (st *dtState) fail(err error) {
+	if st.canceled.CompareAndSwap(false, true) {
+		st.firstErr = err
+	}
+}
+
+// gate runs the cooperative checks at a sampled node boundary: an already
+// canceled run, the RadixNode fault point, and context cancellation. It
+// reports whether the node must stop. A fired fault point whose OnFire
+// hook canceled the context reports the context error; an un-hooked
+// firing reports fault.ErrInjected.
+func (st *dtState) gate() bool {
+	if st.canceled.Load() {
+		return true
+	}
+	injected := fault.Should(fault.RadixNode)
+	if st.ctx != nil {
+		if err := st.ctx.Err(); err != nil {
+			st.fail(err)
+			return true
+		}
+	}
+	if injected {
+		st.fail(fmt.Errorf("sortint: dovetail node: %w", fault.ErrInjected))
+		return true
+	}
+	return false
+}
+
+// DovetailSemisort is DovetailSemisortWith with a freshly allocated
+// scratch buffer and no cancellation.
+func DovetailSemisort(procs int, a []rec.Record, stats *DovetailStats) error {
+	if len(a) <= 1 {
+		return nil
+	}
+	return DovetailSemisortWith(context.Background(), procs, a, make([]rec.Record, len(a)), stats)
+}
+
+// DovetailSemisortWith groups a in place: on return (with a nil error)
+// every key's records are contiguous and in input order. The output is
+// NOT sorted by key — heavy keys detected by per-node sampling are placed
+// at the front of their node, ahead of the byte-ordered light keys. The
+// arrangement is a pure function of the input (proc-count independent).
+//
+// scratch must hold at least len(a) records; a shorter buffer is a
+// contract error wrapping ErrShortScratch, with a untouched. ctx may be
+// nil; a non-nil ctx is polled at every sampled node boundary and a
+// canceled run stops cooperatively, leaving a permutation of the input
+// with no grouping guarantee, and returns the context error. stats, when
+// non-nil, accumulates routing counters.
+func DovetailSemisortWith(ctx context.Context, procs int, a, scratch []rec.Record, stats *DovetailStats) error {
+	if len(a) <= 1 {
+		return nil
+	}
+	if len(scratch) < len(a) {
+		return fmt.Errorf("%w: have %d records, need %d", ErrShortScratch, len(scratch), len(a))
+	}
+	procs = parallel.Procs(procs)
+	if procs == 1 {
+		// Closure-free serial recursion, for the same reason as
+		// u64SortSerial: body closures can escape into the limiter's work
+		// list, so the generic path allocates per node even with a nil
+		// limiter. A warm single-worker dovetail run must allocate nothing.
+		var st dtState
+		st.procs = 1
+		st.ctx = ctx
+		dtSerial(&st, a, scratch[:len(a)], 64-radixBits)
+		return dtFinish(&st, stats)
+	}
+	st := &dtState{procs: procs, ctx: ctx}
+	lim := parallel.NewLimiter(procs)
+	dtSortInPlace(st, lim, a, scratch[:len(a)], 64-radixBits)
+	return dtFinish(st, stats)
+}
+
+func dtFinish(st *dtState, stats *DovetailStats) error {
+	if stats != nil {
+		stats.RadixNodes += st.radix.Load()
+		stats.DovetailNodes += st.dovetail.Load()
+		stats.HeavyKeysPlaced += st.heavy.Load()
+	}
+	return st.firstErr
+}
+
+// dtSample gates the node and, when the run continues, samples for heavy
+// keys, updating the routing counters. It returns the heavy count and
+// whether the node must stop.
+func dtSample(st *dtState, a []rec.Record, hk *[dtMaxHeavy]uint64) (nh int, stop bool) {
+	if st.gate() {
+		return 0, true
+	}
+	nh = dtSampleHeavy(a, hk)
+	if nh > 0 {
+		st.dovetail.Add(1)
+	} else {
+		st.radix.Add(1)
+	}
+	return nh, false
+}
+
+// dtSampleHeavy samples dtSampleSize keys at fixed strides, sorts the
+// sample, and extracts (ascending) the keys with at least dtHeavyHits
+// occurrences. len(a) must be >= dtSampleCutoff, so strides are wide.
+func dtSampleHeavy(a []rec.Record, hk *[dtMaxHeavy]uint64) int {
+	stride := len(a) / dtSampleSize
+	var s [dtSampleSize]uint64
+	for i := 0; i < dtSampleSize; i++ {
+		s[i] = a[i*stride].Key
+	}
+	for i := 1; i < dtSampleSize; i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+	nh := 0
+	for i := 0; i < dtSampleSize && nh < dtMaxHeavy; {
+		j := i + 1
+		for j < dtSampleSize && s[j] == s[i] {
+			j++
+		}
+		if j-i >= dtHeavyHits {
+			hk[nh] = s[i]
+			nh++
+		}
+		i = j
+	}
+	return nh
+}
+
+// dtSortInPlace groups a by the bytes at shift, shift-8, ...; the result
+// ends in a. scratch is clobbered.
+func dtSortInPlace(st *dtState, lim parallel.Joiner, a, scratch []rec.Record, shift int) {
+	n := len(a)
+	if n <= smallCutoff {
+		insertionSort(a)
+		return
+	}
+	if shift < 0 {
+		return // keys in this segment are equal: already one group
+	}
+	var hk [dtMaxHeavy]uint64
+	nh := 0
+	if n >= dtSampleCutoff {
+		var stop bool
+		if nh, stop = dtSample(st, a, &hk); stop {
+			return
+		}
+	}
+	if nh == 0 {
+		starts := radixPass(st.procs, a, scratch, shift)
+		recurseBuckets(st.procs, lim, starts, func(lo, hi int) {
+			if hi-lo == 1 {
+				a[lo] = scratch[lo]
+				return
+			}
+			dtSortInto(st, lim, scratch[lo:hi], a[lo:hi], shift-radixBits)
+		})
+		return
+	}
+	st.heavy.Add(int64(nh))
+	starts := dovetailPass(st.procs, a, scratch, shift, hk[:nh])
+	// The heavy region is final: move it home once, never touch it again.
+	heavyEnd := starts[nh]
+	if heavyEnd >= seqCutoff && lim.Parallel() {
+		parallel.For(st.procs, heavyEnd, 1<<14, func(lo, hi int) {
+			copy(a[lo:hi], scratch[lo:hi])
+		})
+	} else {
+		copy(a[:heavyEnd], scratch[:heavyEnd])
+	}
+	dtRecurseLight(lim, &starts, nh, func(lo, hi int) {
+		if hi-lo == 1 {
+			a[lo] = scratch[lo]
+			return
+		}
+		dtSortInto(st, lim, scratch[lo:hi], a[lo:hi], shift-radixBits)
+	})
+}
+
+// dtSortInto groups src by the bytes at shift, shift-8, ...; the result
+// ends in dst. src is clobbered. len(src) == len(dst).
+func dtSortInto(st *dtState, lim parallel.Joiner, src, dst []rec.Record, shift int) {
+	n := len(src)
+	if n <= smallCutoff {
+		copy(dst, src)
+		insertionSort(dst)
+		return
+	}
+	if shift < 0 {
+		copy(dst, src)
+		return
+	}
+	var hk [dtMaxHeavy]uint64
+	nh := 0
+	if n >= dtSampleCutoff {
+		var stop bool
+		if nh, stop = dtSample(st, src, &hk); stop {
+			copy(dst, src) // keep dst a permutation on a stopped run
+			return
+		}
+	}
+	if nh == 0 {
+		starts := radixPass(st.procs, src, dst, shift)
+		recurseBuckets(st.procs, lim, starts, func(lo, hi int) {
+			dtSortInPlace(st, lim, dst[lo:hi], src[lo:hi], shift-radixBits)
+		})
+		return
+	}
+	st.heavy.Add(int64(nh))
+	starts := dovetailPass(st.procs, src, dst, shift, hk[:nh])
+	// Heavy records landed in dst already — final.
+	dtRecurseLight(lim, &starts, nh, func(lo, hi int) {
+		dtSortInPlace(st, lim, dst[lo:hi], src[lo:hi], shift-radixBits)
+	})
+}
+
+// dtRecurseLight invokes body on every non-empty light (byte) bin of a
+// dovetail pass, in parallel for large inputs; heavy bins are skipped.
+func dtRecurseLight(lim parallel.Joiner, starts *[dtBins + 1]int, nh int, body func(lo, hi int)) {
+	lightN := starts[nh+radixBuckets] - starts[nh]
+	if !lim.Parallel() || lightN < seqCutoff {
+		for b := nh; b < nh+radixBuckets; b++ {
+			if starts[b+1] > starts[b] {
+				body(starts[b], starts[b+1])
+			}
+		}
+		return
+	}
+	var fns []func()
+	for b := nh; b < nh+radixBuckets; b++ {
+		lo, hi := starts[b], starts[b+1]
+		switch {
+		case hi-lo == 1:
+			body(lo, hi)
+		case hi-lo > 1:
+			fns = append(fns, func() { body(lo, hi) })
+		}
+	}
+	lim.JoinAll(fns...)
+}
+
+// dtMask builds the byte -> heavy-index bitmask table for a pass: bit j of
+// mask[b] is set when heavy key j has byte b at shift. Light records whose
+// byte has no heavy key pay one extra load and a never-taken branch.
+func dtMask(mask *[radixBuckets]uint16, hk []uint64, shift int) {
+	for j, k := range hk {
+		mask[int(k>>uint(shift))&(radixBuckets-1)] |= 1 << j
+	}
+}
+
+// dtResolve disambiguates a record whose byte collides with one or more
+// heavy keys: the heavy bin index on a full-key match, else light.
+func dtResolve(m uint16, k uint64, hk []uint64, light int) int {
+	for m != 0 {
+		j := bits.TrailingZeros16(m)
+		if hk[j] == k {
+			return j
+		}
+		m &= m - 1
+	}
+	return light
+}
+
+// dovetailPass distributes src into dst with len(hk) heavy bins first —
+// records whose key equals hk[j] land in bin j — followed by the 256 byte
+// bins at shift. hk is ascending, 1 <= len(hk) <= dtMaxHeavy. The pass is
+// stable; bins beyond nh+255 are unused (starts stays flat at n). Like
+// radixPass, large inputs parallelize over blocks with a column-major
+// exclusive scan, so the layout is identical at any proc count.
+func dovetailPass(procs int, src, dst []rec.Record, shift int, hk []uint64) [dtBins + 1]int {
+	n := len(src)
+	if procs == 1 || n < seqCutoff {
+		return dovetailPassSerial(src, dst, shift, hk)
+	}
+	nh := len(hk)
+	// mask, hk, nh and shift are captured by binOf below, which escapes
+	// into parallel.For — keep every serial pass out of this function so
+	// those captures never tax a single-worker run.
+	var mask [radixBuckets]uint16
+	dtMask(&mask, hk, shift)
+
+	var starts [dtBins + 1]int
+	binOf := func(k uint64) int {
+		b := int(k>>uint(shift)) & (radixBuckets - 1)
+		bin := nh + b
+		if m := mask[b]; m != 0 {
+			bin = dtResolve(m, k, hk, bin)
+		}
+		return bin
+	}
+	grain := parallel.Grain(n, procs, 1<<13)
+	nblocks := (n + grain - 1) / grain
+	counts := make([][dtBins]int32, nblocks)
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			s, e := blk*grain, min((blk+1)*grain, n)
+			c := &counts[blk]
+			for i := s; i < e; i++ {
+				c[binOf(src[i].Key)]++
+			}
+		}
+	})
+
+	// Column-major exclusive scan, heavy bins first, so the scatter below
+	// is stable and heavy records end up ahead of all light records.
+	sum := 0
+	offsets := make([][dtBins]int32, nblocks)
+	for b := 0; b < dtBins; b++ {
+		starts[b] = sum
+		for blk := 0; blk < nblocks; blk++ {
+			offsets[blk][b] = int32(sum)
+			sum += int(counts[blk][b])
+		}
+	}
+	starts[dtBins] = sum
+
+	parallel.For(procs, nblocks, 1, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			s, e := blk*grain, min((blk+1)*grain, n)
+			offs := &offsets[blk]
+			for i := s; i < e; i++ {
+				bin := binOf(src[i].Key)
+				dst[offs[bin]] = src[i]
+				offs[bin]++
+			}
+		}
+	})
+	return starts
+}
+
+// dovetailPassSerial is the closure-free one-worker dovetail pass; it is
+// also the serial branch of dovetailPass.
+func dovetailPassSerial(src, dst []rec.Record, shift int, hk []uint64) [dtBins + 1]int {
+	n := len(src)
+	nh := len(hk)
+	var mask [radixBuckets]uint16
+	dtMask(&mask, hk, shift)
+
+	var starts [dtBins + 1]int
+	var counts [dtBins]int
+	for i := 0; i < n; i++ {
+		k := src[i].Key
+		b := int(k>>uint(shift)) & (radixBuckets - 1)
+		bin := nh + b
+		if m := mask[b]; m != 0 {
+			bin = dtResolve(m, k, hk, bin)
+		}
+		counts[bin]++
+	}
+	sum := 0
+	var offs [dtBins]int
+	for b := 0; b < dtBins; b++ {
+		starts[b] = sum
+		offs[b] = sum
+		sum += counts[b]
+	}
+	starts[dtBins] = sum
+	for i := 0; i < n; i++ {
+		k := src[i].Key
+		b := int(k>>uint(shift)) & (radixBuckets - 1)
+		bin := nh + b
+		if m := mask[b]; m != 0 {
+			bin = dtResolve(m, k, hk, bin)
+		}
+		dst[offs[bin]] = src[i]
+		offs[bin]++
+	}
+	return starts
+}
+
+// dtSerial is dtSortInPlace specialized to one worker with the recursion
+// inlined (no body closures, no limiter), so warm serial runs allocate
+// nothing.
+func dtSerial(st *dtState, a, scratch []rec.Record, shift int) {
+	n := len(a)
+	if n <= smallCutoff {
+		insertionSort(a)
+		return
+	}
+	if shift < 0 {
+		return
+	}
+	var hk [dtMaxHeavy]uint64
+	nh := 0
+	if n >= dtSampleCutoff {
+		var stop bool
+		if nh, stop = dtSample(st, a, &hk); stop {
+			return
+		}
+	}
+	if nh == 0 {
+		starts := dtRadixPassSerial(a, scratch, shift)
+		for b := 0; b < radixBuckets; b++ {
+			lo, hi := starts[b], starts[b+1]
+			switch {
+			case hi-lo == 1:
+				a[lo] = scratch[lo]
+			case hi-lo > 1:
+				dtSerialInto(st, scratch[lo:hi], a[lo:hi], shift-radixBits)
+			}
+		}
+		return
+	}
+	st.heavy.Add(int64(nh))
+	starts := dovetailPassSerial(a, scratch, shift, hk[:nh])
+	copy(a[:starts[nh]], scratch[:starts[nh]])
+	for b := nh; b < nh+radixBuckets; b++ {
+		lo, hi := starts[b], starts[b+1]
+		switch {
+		case hi-lo == 1:
+			a[lo] = scratch[lo]
+		case hi-lo > 1:
+			dtSerialInto(st, scratch[lo:hi], a[lo:hi], shift-radixBits)
+		}
+	}
+}
+
+// dtSerialInto is dtSortInto specialized to one worker.
+func dtSerialInto(st *dtState, src, dst []rec.Record, shift int) {
+	n := len(src)
+	if n <= smallCutoff {
+		copy(dst, src)
+		insertionSort(dst)
+		return
+	}
+	if shift < 0 {
+		copy(dst, src)
+		return
+	}
+	var hk [dtMaxHeavy]uint64
+	nh := 0
+	if n >= dtSampleCutoff {
+		var stop bool
+		if nh, stop = dtSample(st, src, &hk); stop {
+			copy(dst, src)
+			return
+		}
+	}
+	if nh == 0 {
+		starts := dtRadixPassSerial(src, dst, shift)
+		for b := 0; b < radixBuckets; b++ {
+			if starts[b+1] > starts[b] {
+				dtSerial(st, dst[starts[b]:starts[b+1]], src[starts[b]:starts[b+1]], shift-radixBits)
+			}
+		}
+		return
+	}
+	st.heavy.Add(int64(nh))
+	starts := dovetailPassSerial(src, dst, shift, hk[:nh])
+	for b := nh; b < nh+radixBuckets; b++ {
+		if starts[b+1] > starts[b] {
+			dtSerial(st, dst[starts[b]:starts[b+1]], src[starts[b]:starts[b+1]], shift-radixBits)
+		}
+	}
+}
+
+// dtRadixPassSerial is the serial branch of radixPass without the byteOf
+// closure: radixPass shares one closure with its parallel.For bodies,
+// which forces it to the heap, and a serial dovetail run would pay that
+// allocation at every radix node.
+func dtRadixPassSerial(src, dst []rec.Record, shift int) [radixBuckets + 1]int {
+	n := len(src)
+	var starts [radixBuckets + 1]int
+	var counts [radixBuckets]int
+	for i := 0; i < n; i++ {
+		counts[int(src[i].Key>>uint(shift))&(radixBuckets-1)]++
+	}
+	sum := 0
+	var offs [radixBuckets]int
+	for b := 0; b < radixBuckets; b++ {
+		starts[b] = sum
+		offs[b] = sum
+		sum += counts[b]
+	}
+	starts[radixBuckets] = sum
+	for i := 0; i < n; i++ {
+		b := int(src[i].Key>>uint(shift)) & (radixBuckets - 1)
+		dst[offs[b]] = src[i]
+		offs[b]++
+	}
+	return starts
+}

@@ -15,9 +15,16 @@
 package sortint
 
 import (
+	"errors"
+	"fmt"
+
 	"repro/internal/parallel"
 	"repro/internal/rec"
 )
+
+// ErrShortScratch reports a caller-provided scratch buffer smaller than the
+// input; sized errors from this package wrap it.
+var ErrShortScratch = errors.New("sortint: scratch buffer too small")
 
 const (
 	radixBits    = 8
@@ -36,21 +43,24 @@ func RadixSort(procs int, a []rec.Record) {
 		return
 	}
 	scratch := make([]rec.Record, len(a))
-	RadixSortWith(procs, a, scratch)
+	_ = RadixSortWith(procs, a, scratch) // scratch is sized; cannot fail
 }
 
 // RadixSortWith is RadixSort with a caller-provided scratch buffer of at
-// least len(a) records, enabling buffer reuse across calls.
-func RadixSortWith(procs int, a, scratch []rec.Record) {
+// least len(a) records, enabling buffer reuse across calls. A scratch
+// buffer shorter than a is a contract error reported as a sized error
+// wrapping ErrShortScratch; a is left untouched in that case.
+func RadixSortWith(procs int, a, scratch []rec.Record) error {
 	if len(a) <= 1 {
-		return
+		return nil
 	}
 	if len(scratch) < len(a) {
-		panic("sortint: scratch buffer too small")
+		return fmt.Errorf("%w: have %d records, need %d", ErrShortScratch, len(scratch), len(a))
 	}
 	procs = parallel.Procs(procs)
 	lim := parallel.NewLimiter(procs)
 	sortInPlace(procs, lim, a, scratch[:len(a)], 64-radixBits)
+	return nil
 }
 
 // sortInPlace sorts a by the bytes at shift, shift-8, ...; the result ends

@@ -1,8 +1,10 @@
 package sortint
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -122,18 +124,32 @@ func TestRadixSortWithReusedScratch(t *testing.T) {
 	for trial := 0; trial < 3; trial++ {
 		a := randRecords(5000, 1000, int64(trial))
 		orig := append([]rec.Record(nil), a...)
-		RadixSortWith(2, a, scratch)
+		if err := RadixSortWith(2, a, scratch); err != nil {
+			t.Fatal(err)
+		}
 		checkSorted(t, "reused scratch", a, orig)
 	}
 }
 
-func TestRadixSortWithShortScratchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for short scratch")
+func TestRadixSortWithShortScratchError(t *testing.T) {
+	a := randRecords(10, 100, 9)
+	orig := append([]rec.Record(nil), a...)
+	err := RadixSortWith(1, a, make([]rec.Record, 5))
+	if !errors.Is(err, ErrShortScratch) {
+		t.Fatalf("err = %v, want ErrShortScratch", err)
+	}
+	if !strings.Contains(err.Error(), "have 5") || !strings.Contains(err.Error(), "need 10") {
+		t.Fatalf("error not sized: %v", err)
+	}
+	for i := range a {
+		if a[i] != orig[i] {
+			t.Fatal("input mutated on contract error")
 		}
-	}()
-	RadixSortWith(1, make([]rec.Record, 10), make([]rec.Record, 5))
+	}
+	// len(a) <= 1 never needs scratch and must not error.
+	if err := RadixSortWith(1, a[:1], nil); err != nil {
+		t.Fatalf("singleton errored: %v", err)
+	}
 }
 
 func TestRadixSortQuick(t *testing.T) {
@@ -264,7 +280,7 @@ func BenchmarkRadixSort1M(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(a, orig)
-		RadixSortWith(0, a, scratch)
+		_ = RadixSortWith(0, a, scratch)
 	}
 }
 

@@ -129,30 +129,37 @@ func TestDistinctMatchesMapKeys(t *testing.T) {
 }
 
 // TestRecordsIdempotent checks that semisorting an already-semisorted
-// array preserves the grouping property (groups may be reordered).
+// array preserves the grouping property (groups may be reordered), under
+// every scatter strategy — including crossing strategies between the two
+// passes, which is how a dovetail-grouped array most often re-enters the
+// pipeline.
 func TestRecordsIdempotent(t *testing.T) {
 	a := mkRecords(40000, 200, 12)
-	once, err := Records(a, &Config{Seed: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	twice, err := Records(once, &Config{Seed: 6})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !IsSemisorted(twice) {
-		t.Fatal("second semisort broke grouping")
-	}
-	c1 := map[uint64]int{}
-	for _, r := range once {
-		c1[r.Key]++
-	}
-	for _, r := range twice {
-		c1[r.Key]--
-	}
-	for k, c := range c1 {
-		if c != 0 {
-			t.Fatalf("multiset changed for key %d", k)
+	for _, first := range allStrategies {
+		once, err := Records(a, &Config{Seed: 5, ScatterStrategy: first})
+		if err != nil {
+			t.Fatalf("%v: %v", first, err)
+		}
+		for _, second := range allStrategies {
+			twice, err := Records(once, &Config{Seed: 6, ScatterStrategy: second})
+			if err != nil {
+				t.Fatalf("%v then %v: %v", first, second, err)
+			}
+			if !IsSemisorted(twice) {
+				t.Fatalf("%v then %v: second semisort broke grouping", first, second)
+			}
+			c1 := map[uint64]int{}
+			for _, r := range once {
+				c1[r.Key]++
+			}
+			for _, r := range twice {
+				c1[r.Key]--
+			}
+			for k, c := range c1 {
+				if c != 0 {
+					t.Fatalf("%v then %v: multiset changed for key %d", first, second, k)
+				}
+			}
 		}
 	}
 }

@@ -45,13 +45,23 @@ const (
 type ScatterStrategy = core.ScatterStrategy
 
 // Scatter strategy options: Auto (the default) picks Counting when the
-// sample predicts heavy duplication and Probing otherwise; the explicit
-// values force one placement.
+// sample predicts heavy duplication and Probing otherwise; Probing and
+// Counting force one placement; Dovetail enables the skew-adaptive
+// hybrid, which routes duplicate-heavy inputs to the counting scatter
+// and everything else through a heavy-key split plus a top-down MSD
+// radix recursion (see Stats.PlannerRoutes for where records went).
 const (
 	ScatterAuto     = core.ScatterAuto
 	ScatterProbing  = core.ScatterProbing
 	ScatterCounting = core.ScatterCounting
+	ScatterDovetail = core.ScatterDovetail
 )
+
+// PlannerRoutes breaks down the skew-adaptive planner's routing
+// decisions for the attempt that produced the output (see
+// Stats.PlannerRoutes): the top-level probing/counting choice plus,
+// under ScatterDovetail, the radix recursion's per-node decisions.
+type PlannerRoutes = core.PlannerRoutes
 
 // ErrOverflow is returned (wrapped) if every Las Vegas retry overflowed a
 // bucket and Config.DisableFallback is set; with fallback enabled (the

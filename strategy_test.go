@@ -34,7 +34,7 @@ func strategyInputs(n int) map[string][]Record {
 	return map[string][]Record{"heavy": heavy, "mixed": mixed, "distinct": distinct}
 }
 
-var allStrategies = []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting}
+var allStrategies = []ScatterStrategy{ScatterAuto, ScatterProbing, ScatterCounting, ScatterDovetail}
 
 func TestScatterStrategiesPublicAPI(t *testing.T) {
 	for name, in := range strategyInputs(20000) {
@@ -57,8 +57,10 @@ func TestScatterStrategiesPublicAPI(t *testing.T) {
 					t.Fatalf("%s: key %#x count %d, want %d", label, k, got[k], c)
 				}
 			}
-			if stats.ScatterStrategy != "probing" && stats.ScatterStrategy != "counting" {
-				t.Errorf("%s: Stats.ScatterStrategy = %q, want probing or counting",
+			switch stats.ScatterStrategy {
+			case "probing", "counting", "dovetail":
+			default:
+				t.Errorf("%s: Stats.ScatterStrategy = %q, want probing, counting or dovetail",
 					label, stats.ScatterStrategy)
 			}
 		}
@@ -82,6 +84,34 @@ func TestAutoResolution(t *testing.T) {
 	}
 	if stats.ScatterStrategy != "probing" {
 		t.Errorf("distinct input resolved to %q, want probing", stats.ScatterStrategy)
+	}
+}
+
+// Dovetail is a planner, not a single placement: distinct keys must take
+// the radix route (Stats.ScatterStrategy "dovetail", radix nodes
+// recorded), while heavy duplication must be re-routed to the counting
+// scatter — the skew-adaptive promise, observable through PlannerRoutes.
+func TestDovetailResolution(t *testing.T) {
+	in := strategyInputs(20000)
+	_, stats, err := RecordsWithStats(in["distinct"], &Config{Procs: 2, ScatterStrategy: ScatterDovetail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ScatterStrategy != "dovetail" {
+		t.Errorf("distinct input resolved to %q, want dovetail", stats.ScatterStrategy)
+	}
+	if stats.PlannerRoutes.RadixNodes == 0 || stats.PlannerRoutes.ScatterNodes != 0 {
+		t.Errorf("distinct input routed wrong: %+v", stats.PlannerRoutes)
+	}
+	_, stats, err = RecordsWithStats(in["heavy"], &Config{Procs: 2, ScatterStrategy: ScatterDovetail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ScatterStrategy != "counting" {
+		t.Errorf("heavy input resolved to %q, want counting", stats.ScatterStrategy)
+	}
+	if stats.PlannerRoutes.ScatterNodes != 1 || stats.PlannerRoutes.RadixNodes != 0 {
+		t.Errorf("heavy input routed wrong: %+v", stats.PlannerRoutes)
 	}
 }
 
