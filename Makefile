@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke fuzz check stress sweep soak-smoke repro repro-quick examples clean
+.PHONY: all build vet test race cover bench bench-smoke fuzz check stress sweep sample-sweep soak-smoke repro repro-quick examples clean
 
 all: build vet test
 
@@ -38,6 +38,13 @@ stress:
 sweep:
 	$(GO) test -race -count=2 -run 'Spectrum|Dovetail' ./internal/core/ .
 
+# sample-sweep mirrors the CI adaptive-sampling step: the multi-round
+# estimator's proc-count determinism, budget/round-cap contracts,
+# round-boundary fault aborts, and the adaptive-vs-one-shot differential
+# matrix under the race detector with warm-workspace repetition.
+sample-sweep:
+	$(GO) test -race -count=2 -run 'Adaptive|Sampl|SampleRound|SizeModel' ./internal/core/ .
+
 # soak-smoke mirrors the CI job of the same name: a short leak-gated soak
 # of the resident server under the race detector — mixed distributions,
 # SIGTERM mid-run, gates on p99/zero-drops/tenant-budgets/goroutines.
@@ -53,9 +60,13 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-smoke mirrors the CI job of the same name: every benchmark for
-# one iteration, gating compilation and setup, not speed.
+# one iteration, gating compilation and setup, not speed. The sampling
+# experiment rides along at a small size so the adaptive-vs-one-shot
+# harness itself (distributions, stress config, table plumbing) cannot
+# rot between full bench runs.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/semibench -experiment sampling -n 1e5 -procs 2 -reps 2
 
 # Short fuzzing passes over the three fuzz targets.
 fuzz:

@@ -13,7 +13,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5
 // seqbaselines rrcompare schedulers ablation scatter faults observe reuse
-// localsort reduce dovetail all.
+// localsort reduce dovetail sampling all.
 package main
 
 import (
@@ -48,13 +48,14 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 	"localsort":    bench.RunLocalSort,
 	"reduce":       bench.RunReduce,
 	"dovetail":     bench.RunDovetail,
+	"sampling":     bench.RunSampling,
 }
 
 // order fixes a deterministic run order for -experiment all.
 var order = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "seqbaselines", "rrcompare", "schedulers", "ablation",
-	"scatter", "faults", "observe", "reuse", "localsort", "reduce", "dovetail",
+	"scatter", "faults", "observe", "reuse", "localsort", "reduce", "dovetail", "sampling",
 }
 
 func main() {

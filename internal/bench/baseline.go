@@ -138,9 +138,40 @@ func MeasureBaseline(o Options) Baseline {
 		}
 	}
 
+	// Adaptive-sampling path: the default pipeline runs the multi-round
+	// estimator, so the plain sample/total keys above already cover it on
+	// the uniform workload. The sampling_* keys pin the two interesting
+	// extremes — the one-shot ablation (the historical Phase 1) and the
+	// estimator on the duplicate-heavy workload where the round loop does
+	// real re-targeting — so a regression in either mode is caught even if
+	// the other compensates. Same back-compat convention as counting_*:
+	// Compare gates only the keys the stored baseline has.
+	sampling := map[string]time.Duration{}
+	for r := 0; r < o.Reps; r++ {
+		_, st, err := core.SemisortWS(&ws, a, &core.Config{Procs: P, Seed: o.Seed + 7,
+			ScatterStrategy: core.ScatterProbing, OneShotSampling: true})
+		if err != nil {
+			panic(err)
+		}
+		if d := st.Phases.SampleSort; sampling["sampling_oneshot_sample"] == 0 || d < sampling["sampling_oneshot_sample"] {
+			sampling["sampling_oneshot_sample"] = d
+		}
+		_, st, err = core.SemisortWS(&ws, exp, &core.Config{Procs: P, Seed: o.Seed + 7,
+			ScatterStrategy: core.ScatterProbing})
+		if err != nil {
+			panic(err)
+		}
+		if d := st.Phases.SampleSort; sampling["sampling_adaptive_sample"] == 0 || d < sampling["sampling_adaptive_sample"] {
+			sampling["sampling_adaptive_sample"] = d
+		}
+		if d := st.Phases.Total(); sampling["sampling_adaptive_total"] == 0 || d < sampling["sampling_adaptive_total"] {
+			sampling["sampling_adaptive_total"] = d
+		}
+	}
+
 	b := Baseline{
 		N: o.N, Procs: P, Reps: o.Reps, Seed: o.Seed,
-		PhasesSec: make(map[string]float64, len(phases)+len(counting)+len(dovetail)),
+		PhasesSec: make(map[string]float64, len(phases)+len(counting)+len(dovetail)+len(sampling)),
 		TotalSec:  total.Seconds(),
 	}
 	for name, d := range phases {
@@ -150,6 +181,9 @@ func MeasureBaseline(o Options) Baseline {
 		b.PhasesSec[name] = d.Seconds()
 	}
 	for name, d := range dovetail {
+		b.PhasesSec[name] = d.Seconds()
+	}
+	for name, d := range sampling {
 		b.PhasesSec[name] = d.Seconds()
 	}
 

@@ -47,7 +47,7 @@ func (pl *plan) allocatePhase() error {
 			// A fused reduce never places heavy records (they fold into
 			// per-worker cells), so heavy buckets get no slots at all: the
 			// slot arrays and the MaxSlotBytes cap cover light keys only.
-			size = sizeEstimate(int(hr.count), pl.logn, c.C, c.Slack, c.SampleRate, c.ExactBucketSizes)
+			size = pl.model.heavySize(int(hr.count), hr.key>>pl.shift)
 			if m, ok := pl.boost[int32(id)]; ok {
 				size = boostSize(size, m, c.ExactBucketSizes)
 			}
@@ -63,22 +63,30 @@ func (pl *plan) allocatePhase() error {
 	pl.heavySlotEnd = slotTotal
 
 	// Merged light buckets: combine adjacent hash-range slices until each
-	// merged bucket holds at least Delta samples (or a single slice when
-	// merging is disabled).
+	// merged bucket holds the estimator's Delta·SampleRate-records merge
+	// target — at the uniform one-shot density, exactly the historical
+	// at-least-Delta-samples rule — or a single slice when merging is
+	// disabled. Sizing tracks the summed per-range mass and the largest
+	// merged rate (sizeModel.lightSize).
 	pl.lightBucketOf = grow(&pl.ws.lightBucketOf, pl.numLight)
 	firstLight := len(buckets)
 	{
 		start := 0
 		var acc int32
+		var massAcc, rmax float64
 		for i := 0; i < pl.numLight; i++ {
 			acc += pl.lightCounts[i]
+			massAcc += pl.model.mass(pl.lightCounts[i], uint64(i))
+			if r := pl.model.rateOf(uint64(i)); r > rmax {
+				rmax = r
+			}
 			atEnd := i == pl.numLight-1
-			if !atEnd && !c.DisableBucketMerging && int(acc) < c.Delta {
+			if !atEnd && !c.DisableBucketMerging && !pl.model.merged(acc, massAcc) {
 				continue
 			}
-			if c.DisableBucketMerging || int(acc) >= c.Delta || atEnd {
+			if c.DisableBucketMerging || pl.model.merged(acc, massAcc) || atEnd {
 				id := int32(len(buckets))
-				size := sizeEstimate(int(acc), pl.logn, c.C, c.Slack, c.SampleRate, c.ExactBucketSizes)
+				size := pl.model.lightSize(int(acc), massAcc, rmax)
 				if m, ok := pl.boost[id]; ok {
 					size = boostSize(size, m, c.ExactBucketSizes)
 				}
@@ -88,7 +96,7 @@ func (pl *plan) allocatePhase() error {
 					pl.lightBucketOf[j] = id
 				}
 				start = i + 1
-				acc = 0
+				acc, massAcc, rmax = 0, 0, 0
 			}
 		}
 	}
@@ -166,7 +174,9 @@ func (pl *plan) allocatePhase() error {
 // sizing is requested, rounded up to a power of two (Section 4, Phase 2):
 // the high-probability bound on the record count of a bucket with s sample
 // hits. Exact sizing trades the cheap power-of-two masking for ~1.4x less
-// slot memory (measured in the ablation benches).
+// slot memory (measured in the ablation benches). Kept as a standalone
+// function: it is the sizeModel's uniform-mode delegate (estimator.go),
+// so one-shot runs size buckets bit-for-bit as they always did.
 func sizeEstimate(s int, logn float64, c, slack float64, rate int, exact bool) int {
 	cln := c * logn
 	f := (float64(s) + cln + math.Sqrt(cln*cln+2*float64(s)*cln)) * float64(rate)

@@ -115,9 +115,31 @@ type Config struct {
 	// SampleRate is 1/p: one key is sampled from each block of SampleRate
 	// records. Default 16.
 	SampleRate int
-	// Delta is the heavy-key threshold δ: a key with at least Delta
-	// occurrences in the sample is heavy. Default 16.
+	// Delta is the heavy-key threshold δ: a key representing at least
+	// Delta·SampleRate records in the sample's estimate is heavy (at the
+	// uniform one-shot density that is exactly Delta sample occurrences).
+	// Default 16.
 	Delta int
+	// OneShotSampling restores the paper's single-round stratified sample
+	// (one key per SampleRate-record block) instead of the adaptive
+	// pilot + top-up loop — the ablation baseline for the sampling
+	// experiment. Adaptive runs also degrade to one-shot when the input
+	// is too small for a meaningful pilot.
+	OneShotSampling bool
+	// SamplePilotFactor scales the adaptive pilot's block size: the pilot
+	// round keeps one key per SamplePilotFactor×SampleRate records, i.e.
+	// 1/SamplePilotFactor of the one-shot sample. Default 4.
+	SamplePilotFactor int
+	// SampleTolerance is the adaptive loop's convergence target: a hash
+	// range stops receiving top-up rounds once the relative overshoot of
+	// its f(s) size bound is at most this value. Smaller tolerances spend
+	// more of the sample budget on uncertain ranges. Default 0.5.
+	SampleTolerance float64
+	// SampleMaxRounds caps the adaptive loop's rounds (pilot included);
+	// 1 means pilot only. The loop also stops early when every range is
+	// within SampleTolerance or the one-shot sample budget is spent.
+	// Default 4.
+	SampleMaxRounds int
 	// MaxLightBuckets caps the number of hash-range slices for light keys.
 	// The effective count adapts downward for small inputs. Default 2^16.
 	MaxLightBuckets int
@@ -205,6 +227,15 @@ func (c *Config) withDefaults() Config {
 	if out.Delta <= 0 {
 		out.Delta = 16
 	}
+	if out.SamplePilotFactor <= 0 {
+		out.SamplePilotFactor = 4
+	}
+	if out.SampleTolerance <= 0 {
+		out.SampleTolerance = 0.5
+	}
+	if out.SampleMaxRounds <= 0 {
+		out.SampleMaxRounds = 4
+	}
 	if out.MaxLightBuckets <= 0 {
 		out.MaxLightBuckets = 1 << 16
 	}
@@ -238,10 +269,17 @@ func (p PhaseTimes) Total() time.Duration {
 
 // Stats describes one semisort execution.
 type Stats struct {
-	N              int        // number of input records
-	SampleSize     int        // |S|
-	HeavyKeys      int        // distinct heavy keys
-	LightBuckets   int        // light buckets after merging
+	N int // number of input records
+	// SampleSize is |S|: the total keys kept across every sampling round
+	// of the winning attempt (cumulative — the pilot plus all top-ups).
+	// Under OneShotSampling it is exactly N/SampleRate, as before.
+	SampleSize int
+	// SampleRounds is the number of sampling rounds the winning attempt
+	// executed: 1 for a one-shot sample (or an adaptive run that
+	// converged at the pilot), up to SampleMaxRounds otherwise.
+	SampleRounds int
+	HeavyKeys    int // distinct heavy keys
+	LightBuckets int // light buckets after merging
 	// SlotsAllocated is the total bucket-array slot count the winning
 	// attempt allocated. On the probing path it is ≈ Σ slack·f(s) over
 	// the buckets (light-only under a fused reduce, which gives heavy
@@ -381,9 +419,11 @@ func (e *overflowError) Error() string {
 func (e *overflowError) Unwrap() error { return ErrOverflow }
 
 // autoHeavySampleFrac is the ScatterAuto decision threshold: when at
-// least this fraction of the sample fell in heavy runs, the input is
-// duplicate-heavy enough that the counting scatter's extra histogram pass
-// costs less than the CAS contention it removes. At the representative
+// least this fraction of the estimated record mass fell in heavy runs,
+// the input is duplicate-heavy enough that the counting scatter's extra
+// histogram pass costs less than the CAS contention it removes. (Under a
+// uniform one-shot sample the mass ratio equals the heavy-sample
+// fraction the planner historically used.) At the representative
 // workloads, exponential λ=n/10^3 (~70% heavy) and Zipf M=10^4 (~2/3
 // heavy) resolve to counting; uniform N=n (no heavy keys) to probing.
 const autoHeavySampleFrac = 0.5
@@ -397,11 +437,11 @@ const autoHeavySampleFrac = 0.5
 // few heavy keys at every node while paying a full distribution pass per
 // level), a fused reduce has no dovetail arm and resolves as Auto, and
 // everything else takes the dovetail radix path.
-func resolveScatter(c *Config, heavySamples, ns int, fused bool) ScatterStrategy {
+func resolveScatter(c *Config, heavyMass, totalMass float64, fused bool) ScatterStrategy {
 	if c.Probe != ProbeLinear {
 		return ScatterProbing
 	}
-	heavyDominated := ns > 0 && float64(heavySamples) >= autoHeavySampleFrac*float64(ns)
+	heavyDominated := totalMass > 0 && heavyMass >= autoHeavySampleFrac*totalMass
 	switch c.ScatterStrategy {
 	case ScatterProbing, ScatterCounting:
 		return c.ScatterStrategy

@@ -8,16 +8,28 @@ import (
 	"repro/internal/obsv"
 )
 
-// phasesOf extracts the phase sequence of one attempt's spans, in
-// emission order.
+// phasesOf extracts the top-level phase sequence of one attempt's spans,
+// in emission order. Sampling-round spans nest inside the sample span and
+// are checked separately (roundSpansOf).
 func phasesOf(spans []obsv.Span, attempt int) []obsv.Phase {
 	var ps []obsv.Phase
 	for _, s := range spans {
-		if s.Attempt == attempt {
+		if s.Attempt == attempt && s.Phase != obsv.PhaseSampleRound {
 			ps = append(ps, s.Phase)
 		}
 	}
 	return ps
+}
+
+// roundSpansOf extracts one attempt's nested sampling-round spans.
+func roundSpansOf(spans []obsv.Span, attempt int) []obsv.Span {
+	var rs []obsv.Span
+	for _, s := range spans {
+		if s.Attempt == attempt && s.Phase == obsv.PhaseSampleRound {
+			rs = append(rs, s)
+		}
+	}
+	return rs
 }
 
 func wantPhases(t *testing.T, got, want []obsv.Phase, attempt int) {
@@ -68,12 +80,32 @@ func TestObserverCleanRunTrace(t *testing.T) {
 		if s.Outcome != obsv.OutcomeOK {
 			t.Errorf("span %v outcome %q, want ok", s.Phase, s.Outcome)
 		}
+		if s.Phase == obsv.PhaseSampleRound {
+			// Round spans nest inside the sample span: they close (and are
+			// emitted) before it, so they sit outside the top-level
+			// start-monotonicity chain.
+			continue
+		}
 		if s.Start < prev {
 			t.Errorf("span %v starts at %v, before previous span's start %v", s.Phase, s.Start, prev)
 		}
 		prev = s.Start
 		if s.Duration < 0 {
 			t.Errorf("span %v has negative duration %v", s.Phase, s.Duration)
+		}
+	}
+
+	// The adaptive estimator traces one nested span per sampling round,
+	// each naming the hash-range count it drew from, and the count matches
+	// Stats.SampleRounds.
+	rounds := roundSpansOf(spans, 0)
+	if len(rounds) != stats.SampleRounds || len(rounds) == 0 {
+		t.Fatalf("sampling-round spans = %d, want Stats.SampleRounds = %d > 0",
+			len(rounds), stats.SampleRounds)
+	}
+	for i, r := range rounds {
+		if r.Ranges <= 0 {
+			t.Errorf("round %d span Ranges = %d, want > 0", i, r.Ranges)
 		}
 	}
 

@@ -56,14 +56,17 @@ func stageFor(s ScatterStrategy) scatterStage {
 }
 
 // planScatter is the skew-adaptive planner's top-level decision: it
-// consumes the Phase 1 sample — via the heavy-sample fraction the
-// classify pass accumulated — and routes the attempt to a Phase 3
-// placement, recording the choice in Stats. A probing or counting route
-// decides the whole input at once (one scatter node); under
-// ScatterDovetail the radix recursion keeps planning per node, and its
-// decisions merge into Stats.PlannerRoutes after Phase 4.
+// consumes the Phase 1 estimator — the heavy record mass the classify
+// pass accumulated against the estimated total mass — and routes the
+// attempt to a Phase 3 placement, recording the choice in Stats. (Under
+// a uniform one-shot sample the mass ratio collapses to the historical
+// heavy-sample fraction; adaptive densities sharpen it, because heavy
+// ranges' masses are estimated at their own rates.) A probing or
+// counting route decides the whole input at once (one scatter node);
+// under ScatterDovetail the radix recursion keeps planning per node, and
+// its decisions merge into Stats.PlannerRoutes after Phase 4.
 func (pl *plan) planScatter() {
-	pl.strat = resolveScatter(&pl.cfg, int(pl.heavySamples.Load()), pl.ns, pl.red != nil)
+	pl.strat = resolveScatter(&pl.cfg, float64(pl.heavyMass.Load()), pl.massTotal, pl.red != nil)
 	pl.stats.ScatterStrategy = pl.strat.String()
 	if pl.strat != ScatterDovetail {
 		pl.stats.PlannerRoutes.ScatterNodes = 1
@@ -94,9 +97,24 @@ type plan struct {
 
 	stats Stats
 
-	// Phase 1 products.
-	ns     int
-	sample []uint64
+	// Phase 1 products: the cumulative sorted sample, the estimator the
+	// adaptive loop built over it, and the loop's own state (sample.go).
+	ns        int // total keys kept across rounds
+	sample    []uint64
+	model     sizeModel
+	massTotal float64 // estimator's record-mass total, Σ hist[j]·rate[j]
+	// Adaptive-loop state: per-range histogram/density/selection views
+	// plus the in-flight round's geometry.
+	smplHist     []int32
+	smplDens     []float64
+	smplSel      []uint8
+	smplCnt      []int32
+	smplRounds   int
+	smplRound    int
+	smplBS       int
+	smplNBlk     int
+	smplGrain    int
+	smplSelCount int
 
 	// Phase 2 products.
 	bucketsT0 time.Time // classify+allocate share the Buckets phase clock
@@ -110,11 +128,14 @@ type plan struct {
 	// Classification.
 	runGrain     int
 	runBlocks    int
-	blockHeavy   []int32
-	heavyRuns    []heavyRun
-	numHeavy     int
-	lightCounts  []int32
-	heavySamples atomic.Int64
+	blockHeavy  []int32
+	heavyRuns   []heavyRun
+	numHeavy    int
+	lightCounts []int32
+	// heavyMass accumulates the estimated records under heavy runs (an
+	// integer sum of per-run rounded masses, so it is grain-independent);
+	// the planner compares it against massTotal.
+	heavyMass atomic.Int64
 	// Bucket construction.
 	strat          ScatterStrategy
 	buckets        []bucket
@@ -202,13 +223,18 @@ func (pl *plan) begin(ws *Workspace, a, dst []rec.Record, c *Config, sampleAttem
 
 	pl.ns = 0
 	pl.sample = nil
+	pl.model = sizeModel{}
+	pl.massTotal = 0
+	pl.smplHist, pl.smplDens, pl.smplSel, pl.smplCnt = nil, nil, nil, nil
+	pl.smplRounds, pl.smplRound, pl.smplBS = 0, 0, 0
+	pl.smplNBlk, pl.smplGrain, pl.smplSelCount = 0, 0, 0
 	pl.bucketsT0 = time.Time{}
 	pl.numLight, pl.shift = 0, 0
 	pl.runStarts, pl.runCounts, pl.rsGrain, pl.numRuns = nil, nil, 0, 0
 	pl.runGrain, pl.runBlocks = 0, 0
 	pl.blockHeavy, pl.heavyRuns, pl.numHeavy = nil, nil, 0
 	pl.lightCounts = nil
-	pl.heavySamples.Store(0)
+	pl.heavyMass.Store(0)
 	pl.strat = ScatterAuto
 	pl.buckets, pl.table = nil, nil
 	pl.emptyKeyBucket = -1
@@ -256,6 +282,8 @@ func (pl *plan) clearRefs() {
 	pl.ctx = nil
 	pl.boost = nil
 	pl.sample = nil
+	pl.model = sizeModel{} // drops the rates/thr workspace views
+	pl.smplHist, pl.smplDens, pl.smplSel, pl.smplCnt = nil, nil, nil, nil
 	pl.runStarts, pl.runCounts = nil, nil
 	pl.blockHeavy, pl.heavyRuns, pl.lightCounts = nil, nil, nil
 	pl.buckets, pl.table, pl.lightBucketOf = nil, nil, nil

@@ -6,6 +6,11 @@
 //   - Uniform(N): keys uniform over [N]; smaller N means more duplicates.
 //   - Exponential(λ): keys are ⌊X⌋ for X exponential with mean λ.
 //   - Zipfian(M): key i ∈ [M] has probability 1/(i·H_M).
+//   - HeavyHead(h): an adversarial mixture — h equally-likely heavy keys
+//     carry half the mass; the other half is spread over n/512 tail keys
+//     (≈256 records each, straddling the default Delta·SampleRate
+//     heavy/light boundary). The huge head plus knife-edge tail stresses
+//     the boundary harder than Zipfian's smooth decay.
 //
 // Generation is deterministic in the seed and parallel. The paper's 17
 // Table-1 parameter settings are exposed as TableOneSettings.
@@ -27,6 +32,7 @@ const (
 	Uniform Kind = iota
 	Exponential
 	Zipfian
+	HeavyHead
 )
 
 // String returns the class name as used in the paper's tables.
@@ -38,13 +44,15 @@ func (k Kind) String() string {
 		return "exponential"
 	case Zipfian:
 		return "zipfian"
+	case HeavyHead:
+		return "heavy-head"
 	default:
 		return "unknown"
 	}
 }
 
 // Spec describes one workload: a distribution class and its parameter
-// (N for uniform, λ for exponential, M for Zipfian).
+// (N for uniform, λ for exponential, M for Zipfian, h for HeavyHead).
 type Spec struct {
 	Kind  Kind
 	Param float64
@@ -76,6 +84,22 @@ func Generate(procs, n int, s Spec, seed uint64) []rec.Record {
 				orig = uint64(expFloor(unitFloat(u), s.Param))
 			case Zipfian:
 				orig = z.sample(unitFloat(u))
+			case HeavyHead:
+				// Top bit picks the class (even split), the rest pick the
+				// key; tail keys live in a disjoint space above the head.
+				h := uint64(s.Param)
+				if h < 1 {
+					h = 1
+				}
+				tails := uint64(n / 512)
+				if tails < 1 {
+					tails = 1
+				}
+				if u>>63 != 0 {
+					orig = boundedOf(u<<1, h)
+				} else {
+					orig = h + 1 + boundedOf(u<<1, tails)
+				}
 			}
 			a[i] = rec.Record{Key: f.Hash(orig), Value: uint64(i)}
 		}

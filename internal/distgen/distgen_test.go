@@ -104,6 +104,30 @@ func TestExponentialDuplicateStructure(t *testing.T) {
 	}
 }
 
+func TestHeavyHeadMixture(t *testing.T) {
+	// Half the records land on the h heavy keys, half are near-unique.
+	const n = 200000
+	const h = 4
+	a := Generate(4, n, Spec{Kind: HeavyHead, Param: h}, 13)
+	counts := rec.KeyCounts(a)
+	heavyMass, heavyKeys := 0, 0
+	for _, c := range counts {
+		if c >= n/(4*h) { // well above any plausible light count
+			heavyMass += c
+			heavyKeys++
+		}
+	}
+	if heavyKeys != h {
+		t.Fatalf("heavy-head(%d): %d heavy keys", h, heavyKeys)
+	}
+	if f := float64(heavyMass) / n; f < 0.45 || f > 0.55 {
+		t.Errorf("heavy-head: heavy mass fraction %.3f, want ~0.5", f)
+	}
+	if light := len(counts) - heavyKeys; light < n/1024 || light > n/256 {
+		t.Errorf("heavy-head: %d tail keys, want ~n/512 straddling keys", light)
+	}
+}
+
 func TestZipfHeadSkew(t *testing.T) {
 	// Under Zipf, the most frequent key has probability 1/H_M; verify the
 	// top key's share within a factor.

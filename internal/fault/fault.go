@@ -76,6 +76,12 @@ const (
 	// occurrences count such nodes. With no OnFire hook the node reports
 	// ErrInjected, cancelling the dovetail local sort cooperatively.
 	RadixNode
+	// SampleRound fires at adaptive-sampling round boundaries, before the
+	// round's draw passes; occurrences count rounds (the pilot is
+	// occurrence 0 of its attempt). With no OnFire hook the round reports
+	// ErrInjected, aborting the attempt cooperatively — mid-loop state
+	// stays inside the Workspace, which remains reusable.
+	SampleRound
 
 	numPoints
 )
@@ -93,6 +99,7 @@ var pointNames = [numPoints]string{
 	"server-admission",
 	"server-handler-panic",
 	"radix-node",
+	"sample-round",
 }
 
 func (p Point) String() string {

@@ -62,6 +62,11 @@ const (
 	// reduction of the light buckets (it replaces the localsort span on
 	// fused runs; the heavy-cell merge is part of the pack span).
 	PhaseReduce
+	// PhaseSampleRound is one round of the adaptive sampling loop (pilot
+	// or top-up), emitted nested inside the enclosing PhaseSample span —
+	// one span per executed round, with Ranges carrying the number of
+	// hash ranges the round drew from.
+	PhaseSampleRound
 
 	numPhases
 )
@@ -77,6 +82,7 @@ var phaseNames = [numPhases]string{
 	"hash",
 	"verify",
 	"reduce",
+	"sampleround",
 }
 
 func (p Phase) String() string {
@@ -153,7 +159,8 @@ type Span struct {
 	// "hybrid", "counting" or "bucket"; empty on every other phase.
 	Kernel string
 	// Ranges is the number of size-aware bucket ranges the Phase 4
-	// schedule used; set on localsort spans only.
+	// schedule used (localsort spans), or the number of hash ranges an
+	// adaptive sampling round drew from (sampleround spans).
 	Ranges int64
 }
 

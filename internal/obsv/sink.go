@@ -95,9 +95,11 @@ func (s *JSONSink) Err() error {
 //
 // The zero value is ready. A single TraceRegionSink must observe one
 // semisort at a time (phases of one call never overlap; concurrent calls
-// need one sink each).
+// need one sink each). Regions are kept on a small stack because spans
+// nest: each adaptive sampling round opens a sampleround region inside
+// the enclosing sample region.
 type TraceRegionSink struct {
-	region *trace.Region
+	regions []*trace.Region
 }
 
 func (t *TraceRegionSink) AttemptStart(a Attempt) {
@@ -106,13 +108,15 @@ func (t *TraceRegionSink) AttemptStart(a Attempt) {
 }
 
 func (t *TraceRegionSink) PhaseStart(attempt int, ph Phase) {
-	t.region = trace.StartRegion(context.Background(), "semisort/"+ph.String())
+	t.regions = append(t.regions, trace.StartRegion(context.Background(), "semisort/"+ph.String()))
 }
 
 func (t *TraceRegionSink) PhaseEnd(s Span) {
-	if t.region != nil {
-		t.region.End()
-		t.region = nil
+	if n := len(t.regions); n > 0 {
+		if r := t.regions[n-1]; r != nil {
+			r.End()
+		}
+		t.regions = t.regions[:n-1]
 	}
 }
 

@@ -87,6 +87,41 @@ func TestAutoResolution(t *testing.T) {
 	}
 }
 
+// Strategy resolution must be invariant across the sampling modes: the
+// heavy-mass signal the planner consumes comes from the estimator, so
+// one-shot, pilot-only, and cap-forced adaptive runs must all route
+// heavy duplication to counting and distinct keys to probing, grouping
+// correctly throughout.
+func TestAutoResolutionAcrossSamplingModes(t *testing.T) {
+	in := strategyInputs(20000)
+	modes := []struct {
+		name string
+		cfg  Config
+	}{
+		{"one-shot", Config{OneShotSampling: true}},
+		{"pilot-only", Config{SampleMaxRounds: 1}},
+		{"adaptive-default", Config{}},
+		{"cap-forced", Config{SampleTolerance: 0.0001, SampleMaxRounds: 6}},
+	}
+	for _, m := range modes {
+		for name, want := range map[string]string{"heavy": "counting", "distinct": "probing"} {
+			cfg := m.cfg
+			cfg.Procs = 2
+			out, stats, err := RecordsWithStats(in[name], &cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.name, name, err)
+			}
+			if !IsSemisorted(out) {
+				t.Fatalf("%s/%s: output not semisorted", m.name, name)
+			}
+			if stats.ScatterStrategy != want {
+				t.Errorf("%s: %s input resolved to %q, want %q",
+					m.name, name, stats.ScatterStrategy, want)
+			}
+		}
+	}
+}
+
 // Dovetail is a planner, not a single placement: distinct keys must take
 // the radix route (Stats.ScatterStrategy "dovetail", radix nodes
 // recorded), while heavy duplication must be re-routed to the counting
