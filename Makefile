@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke fuzz check stress sweep sample-sweep soak-smoke repro repro-quick examples clean
+.PHONY: all build vet test race cover bench bench-smoke fuzz check stress sweep sample-sweep soak-smoke outofcore-smoke repro repro-quick examples clean
 
 all: build vet test
 
@@ -52,6 +52,14 @@ sample-sweep:
 soak-smoke:
 	$(GO) run -race ./cmd/soaksemi -duration 30s -concurrency 4 -pool 2 \
 		-batch 2048 -report SOAK_semisort.json
+
+# outofcore-smoke mirrors the CI job of the same name: the external
+# shuffle's fault/resume suite under the race detector, then the
+# out-of-core experiment at a small size — serial ablation vs pipelined
+# vs compressed, plus the injected-fault resume demonstration.
+outofcore-smoke:
+	$(GO) test -race -count=2 ./external/
+	$(GO) run ./cmd/semibench -experiment outofcore -n 2e5 -procs 2 -reps 2
 
 cover:
 	$(GO) test -cover ./...

@@ -13,7 +13,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5
 // seqbaselines rrcompare schedulers ablation scatter faults observe reuse
-// localsort reduce dovetail sampling all.
+// localsort reduce dovetail sampling outofcore all.
 package main
 
 import (
@@ -49,6 +49,7 @@ var experiments = map[string]func(bench.Options) []*bench.Table{
 	"reduce":       bench.RunReduce,
 	"dovetail":     bench.RunDovetail,
 	"sampling":     bench.RunSampling,
+	"outofcore":    bench.RunOutOfCore,
 }
 
 // order fixes a deterministic run order for -experiment all.
@@ -56,6 +57,7 @@ var order = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig1", "fig2", "fig3", "fig4", "fig5", "seqbaselines", "rrcompare", "schedulers", "ablation",
 	"scatter", "faults", "observe", "reuse", "localsort", "reduce", "dovetail", "sampling",
+	"outofcore",
 }
 
 func main() {

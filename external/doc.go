@@ -13,12 +13,40 @@
 //	for _, r := range stream { sh.Add(r) }
 //	sh.ForEachGroup(func(key uint64, group []semisort.Record) error { ... })
 //
+// # Pipelining
+//
+// Both passes overlap their disk work with computation. On the way down,
+// Add and AddBatch fill per-partition staging blocks that a bounded pool
+// of writer goroutines encodes (checksummed block framing, optional
+// DEFLATE compression via Config.Compression) and appends to the
+// partition files, so ingestion proceeds while earlier blocks are still
+// being written. On the way back up, a prefetcher streams the next
+// partition from disk — parallel segmented reads into a reusable double
+// buffer — while the current partition is semisorted on a warm workspace.
+// Config.Serial disables both overlaps and is the ablation baseline for
+// `semibench -experiment outofcore`. ShuffleStats.SpillStalls and
+// PrefetchStalls report how often either side of the pipeline had to
+// wait. See docs/EXTERNAL.md for the architecture and tuning notes.
+//
+// # Resumption
+//
+// With Config.Resumable set, the shuffle commits a small manifest per
+// partition at seal time and marks each partition emitted as its groups
+// are delivered. If ForEachGroup crashes, fails, or is canceled, the
+// spill directory survives and ResumeShuffler(Dir(), cfg) reopens it:
+// partitions already emitted are skipped without re-reading their data,
+// the rest are emitted as usual (at-least-once per partition). See
+// docs/EXTERNAL.md for the manifest format and the exact resume contract.
+//
 // # Observability
 //
 // The in-memory semisort of each partition honors the observability
 // hooks of Config.Semisort: an Observer set there receives one trace
-// (attempts, phase spans) per partition, and Shuffler.Stats aggregates
-// the per-partition statistics — partitions processed, records,
-// attempts, retries, fallbacks, scheduler counters — into a single
-// ShuffleStats. See docs/OBSERVABILITY.md.
+// (attempts, phase spans) per partition, plus shuffle-level spans for
+// the spill tail, per-partition prefetch waits, and compression CPU.
+// Shuffler.Stats aggregates the per-partition statistics — partitions
+// processed, records, attempts, retries, fallbacks, scheduler counters —
+// and the pipeline's own counters (blocks and bytes spilled and read,
+// stalls, partitions skipped on resume) into a single ShuffleStats. See
+// docs/OBSERVABILITY.md.
 package external

@@ -1,40 +1,86 @@
 package external
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math/bits"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync/atomic"
 
 	semisort "repro"
 	"repro/internal/core"
-	"repro/internal/fault"
 	"repro/internal/rec"
 )
 
 // ErrClosed is returned (wrapped) by operations on a closed Shuffler.
 var ErrClosed = errors.New("external: shuffler closed")
 
+// ErrSealed is returned (wrapped) by Add/AddBatch once the spill has been
+// sealed — after ForEachGroup has started, or always on a Shuffler
+// reopened by ResumeShuffler.
+var ErrSealed = errors.New("external: shuffle sealed")
+
 // ctxCheckEvery is how many Adds pass between cancellation checks when the
 // semisort Config carries a Context; spilling stays branch-cheap.
 const ctxCheckEvery = 1024
 
+// maxStageBlocks is the per-partition staging depth: one block filling
+// while one is in flight to the writer pool (double buffering). A deeper
+// pipeline would only add memory — with static partition→writer routing
+// the writer can't overtake the disk anyway.
+const maxStageBlocks = 2
+
+// Compression selects the spill-block compression codec.
+type Compression uint8
+
+const (
+	// CompressNone stores blocks raw (the default): spilling is bounded
+	// by disk bandwidth alone.
+	CompressNone Compression = iota
+	// CompressFlate DEFLATE-compresses each block at BestSpeed, trading
+	// writer-pool CPU for disk bandwidth. Worth it on duplicate-heavy
+	// keys or slow disks; near-unique records barely shrink (the encoder
+	// falls back to raw storage per block when compression doesn't pay).
+	CompressFlate
+)
+
 // Config controls the shuffler.
 type Config struct {
 	// TempDir holds the spill files; defaults to os.TempDir(). The files
-	// are removed by Close / ForEachGroup completion.
+	// are removed by Close / ForEachGroup completion (but see Resumable).
 	TempDir string
 	// Partitions is the number of spill partitions, rounded up to a power
 	// of two. Each partition must fit in memory (expect |input|/Partitions
-	// per partition for hashed keys). Default 64.
+	// per partition for hashed keys; PartitionsFor computes a fan-out from
+	// a byte budget). Default 64.
 	Partitions int
-	// BufferRecords is the per-partition write buffer size in records.
-	// Default 4096 (64 KiB per partition).
+	// BufferRecords is the per-partition staging-block size in records;
+	// each partition stages up to two such blocks (one filling, one in
+	// flight). Default 4096 (64 KiB of records per block).
 	BufferRecords int
+	// SpillConcurrency is the size of the spill writer pool and the
+	// read-back segment fan-out. Partitions map to writers statically
+	// (partition p → writer p mod SpillConcurrency), which keeps each
+	// partition's blocks in submission order without locking. Default
+	// min(4, GOMAXPROCS); ignored when Serial is set.
+	SpillConcurrency int
+	// Compression selects the spill-block codec (default CompressNone).
+	Compression Compression
+	// Serial disables the pipeline: spill blocks are written synchronously
+	// by Add and partitions are read back inline between semisorts, as the
+	// pre-pipeline shuffler did. It exists as the ablation baseline for
+	// semibench -experiment outofcore and for debugging; the file format
+	// and results are identical.
+	Serial bool
+	// Resumable keeps the spill directory (files + manifests) when
+	// ForEachGroup fails or is canceled, so ResumeShuffler(Dir()) can
+	// finish the job re-reading only unfinished partitions. It also
+	// enables per-partition manifest commits (sealing and emitted
+	// markers). When false (the default), any outcome removes the spill
+	// directory, as before.
+	Resumable bool
 	// Semisort configures the in-memory semisort of each partition.
 	Semisort semisort.Config
 }
@@ -54,15 +100,38 @@ func (c *Config) withDefaults() Config {
 	if out.BufferRecords <= 0 {
 		out.BufferRecords = 4096
 	}
+	if out.SpillConcurrency <= 0 {
+		out.SpillConcurrency = min(4, runtime.GOMAXPROCS(0))
+	}
+	if out.SpillConcurrency > out.Partitions {
+		out.SpillConcurrency = out.Partitions
+	}
 	return out
 }
 
+// PartitionsFor returns the partition fan-out (a power of two, at most
+// 4096) needed to semisort totalBytes of spilled records while loading at
+// most memBudget bytes of records per partition. Partition sizes follow
+// the hash distribution, so leave slack: a budget of half the memory you
+// can spend is a reasonable rule of thumb.
+func PartitionsFor(totalBytes, memBudget int64) int {
+	if memBudget <= 0 || totalBytes <= memBudget {
+		return 1
+	}
+	p := (totalBytes + memBudget - 1) / memBudget
+	if p > 4096 {
+		p = 4096
+	}
+	return 1 << uint(bits.Len(uint(p-1)))
+}
+
 // ShuffleStats aggregates the in-memory semisort statistics over the
-// partitions ForEachGroup processed, so an out-of-core shuffle is as
-// observable as a single in-memory call. Per-partition phase traces flow
-// through Config.Semisort.Observer as usual (one AttemptStart/AttemptEnd
-// cycle per partition attempt); these totals cover the counters worth
-// summing.
+// partitions ForEachGroup processed, plus the spill/read pipeline's own
+// counters, so an out-of-core shuffle is as observable as a single
+// in-memory call. Per-partition phase traces flow through
+// Config.Semisort.Observer as usual (one AttemptStart/AttemptEnd cycle
+// per partition attempt, plus shuffle-level spill/prefetch/compress
+// spans); these totals cover the counters worth summing.
 type ShuffleStats struct {
 	// Partitions is the number of non-empty partitions semisorted.
 	Partitions int
@@ -75,69 +144,139 @@ type ShuffleStats struct {
 	// Fallbacks is the number of partitions that degraded to the
 	// deterministic sequential fallback.
 	Fallbacks int
+	// SpillBlocks and SpillBytes count the blocks and on-disk bytes the
+	// writer pool committed; RawSpillBytes is the pre-compression record
+	// volume (16 bytes per record), so SpillBytes/RawSpillBytes is the
+	// achieved compression ratio.
+	SpillBlocks   int64
+	SpillBytes    int64
+	RawSpillBytes int64
+	// BytesRead counts spill bytes read back during ForEachGroup.
+	BytesRead int64
+	// SpillStalls counts Adds that blocked waiting for a free staging
+	// block — ingestion outran the disk. Zero means the spill fully
+	// overlapped ingestion.
+	SpillStalls int64
+	// PrefetchStalls counts partitions whose read-back the emit loop had
+	// to wait for — the disk outran the semisort. Zero means read-back
+	// fully overlapped semisorting.
+	PrefetchStalls int64
+	// PartitionsSkipped counts partitions a resumed shuffle skipped (and
+	// did not re-read) because a previous run had already emitted them.
+	PartitionsSkipped int
 	// Sched sums the per-partition scheduler counter deltas. Collected
 	// only while Config.Semisort.Observer is non-nil, like Stats.Sched.
 	Sched semisort.SchedStats
 }
 
-// Shuffler accumulates records, spilling them to partition files, and then
-// emits all groups. Not safe for concurrent use.
-//
-// A spill-write failure is sticky: the failing Add (or AddBatch) reports it,
-// and every later operation returns the same error rather than spilling more
-// records to a shuffle that can no longer complete.
-type Shuffler struct {
-	cfg    Config
-	shift  uint
-	dir    string
-	files  []*os.File
-	bufs   []*bufio.Writer
-	counts []int64
-	n      int64
-	closed bool
-	err    error // first spill failure; sticky
-	stats  ShuffleStats
+// partState is the per-partition bookkeeping. Before seal, records is
+// written by the Add goroutine while bytes/blocks/crc are written by the
+// partition's (unique) spill writer; the fields are distinct words, so
+// the split needs no locking. After seal everything is read-only except
+// emitted, which only the emit loop touches.
+type partState struct {
+	records int64
+	bytes   int64
+	blocks  int64
+	crc     uint32
+	emitted bool
 }
 
-// Stats returns the semisort statistics aggregated so far; complete once
+// spillFailure is the first asynchronous spill error, published by the
+// writer pool and adopted as the Shuffler's sticky error by the next
+// operation that observes it.
+type spillFailure struct{ err error }
+
+// Shuffler accumulates records, spilling them to partition files through
+// a bounded pool of writer goroutines, and then emits all groups with
+// read-back prefetched ahead of the in-memory semisort. Not safe for
+// concurrent use (one goroutine Adds and iterates; the internal pipeline
+// manages its own workers).
+//
+// A spill-write failure is sticky: the Add (or AddBatch) that observes it
+// reports it, and every later operation returns the same error rather
+// than spilling more records to a shuffle that can no longer complete.
+// Because writes are asynchronous, a failure may surface an Add or two
+// after the write that caused it; the error always names the partition
+// and file that failed.
+type Shuffler struct {
+	cfg     Config
+	shift   uint
+	dir     string
+	files   []*os.File
+	stage   [][]rec.Record        // per-partition block being filled
+	free    []chan []rec.Record   // per-partition recycled staging blocks
+	nblocks []int                 // staging blocks allocated per partition
+	writers []*spillWriter
+	parts   []partState
+	n       int64
+	sealed  bool
+	allDone bool // every partition emitted; ForEachGroup completed
+	closed  bool
+	err     error // sticky failure, main-goroutine view
+	asyncErr atomic.Pointer[spillFailure]
+	stats   ShuffleStats
+	ws      core.Workspace
+}
+
+// Stats returns the statistics aggregated so far; complete once
 // ForEachGroup has returned.
 func (s *Shuffler) Stats() ShuffleStats { return s.stats }
 
-// NewShuffler creates the spill directory and partition files.
+// Len returns the number of records accepted for spilling so far.
+func (s *Shuffler) Len() int64 { return s.n }
+
+// Dir returns the spill directory. With Config.Resumable set, pass it to
+// ResumeShuffler after a crash or a failed ForEachGroup to finish the
+// shuffle from the completed partitions.
+func (s *Shuffler) Dir() string { return s.dir }
+
+// NewShuffler creates the spill directory, partition files and writer
+// pool.
 func NewShuffler(cfg *Config) (*Shuffler, error) {
 	c := cfg.withDefaults()
 	dir, err := os.MkdirTemp(c.TempDir, "semisort-shuffle-")
 	if err != nil {
 		return nil, fmt.Errorf("external: create spill dir: %w", err)
 	}
+	s := newShuffler(c, dir)
+	for p := 0; p < c.Partitions; p++ {
+		f, err := os.Create(filepath.Join(dir, partFileName(p)))
+		if err != nil {
+			s.discardQuietly()
+			return nil, fmt.Errorf("external: create partition: %w", err)
+		}
+		s.files[p] = f
+	}
+	s.startWriters()
+	return s, nil
+}
+
+// newShuffler builds the common Shuffler skeleton for NewShuffler and
+// ResumeShuffler (which opens existing files instead of creating them).
+func newShuffler(c Config, dir string) *Shuffler {
 	s := &Shuffler{
-		cfg:    c,
-		shift:  uint(64 - bits.Len(uint(c.Partitions-1))),
-		dir:    dir,
-		files:  make([]*os.File, c.Partitions),
-		bufs:   make([]*bufio.Writer, c.Partitions),
-		counts: make([]int64, c.Partitions),
+		cfg:     c,
+		shift:   uint(64 - bits.Len(uint(c.Partitions-1))),
+		dir:     dir,
+		files:   make([]*os.File, c.Partitions),
+		stage:   make([][]rec.Record, c.Partitions),
+		free:    make([]chan []rec.Record, c.Partitions),
+		nblocks: make([]int, c.Partitions),
+		parts:   make([]partState, c.Partitions),
 	}
 	if c.Partitions == 1 {
 		s.shift = 64
 	}
-	for p := 0; p < c.Partitions; p++ {
-		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("part-%04d", p)))
-		if err != nil {
-			s.cleanup()
-			return nil, fmt.Errorf("external: create partition: %w", err)
-		}
-		s.files[p] = f
-		// The fault wrapper sits under bufio so an injected SpillWrite
-		// fault surfaces exactly where a real disk error would: on the
-		// flush that pushes buffered records to the file.
-		s.bufs[p] = bufio.NewWriterSize(fault.Writer(f), c.BufferRecords*16)
+	for p := range s.free {
+		s.free[p] = make(chan []rec.Record, maxStageBlocks)
 	}
-	return s, nil
+	return s
 }
 
 // Add spills one record to its partition. After Close it returns an error
-// wrapping ErrClosed; after a spill failure it keeps returning that failure.
+// wrapping ErrClosed; after the spill is sealed, ErrSealed; after a spill
+// failure it keeps returning that failure.
 func (s *Shuffler) Add(r semisort.Record) error {
 	if err := s.usable("Add"); err != nil {
 		return err
@@ -147,39 +286,73 @@ func (s *Shuffler) Add(r semisort.Record) error {
 			return fmt.Errorf("external: Add canceled: %w", err)
 		}
 	}
-	p := int(r.Key >> s.shift)
-	var buf [16]byte
-	binary.LittleEndian.PutUint64(buf[0:8], r.Key)
-	binary.LittleEndian.PutUint64(buf[8:16], r.Value)
-	if _, err := s.bufs[p].Write(buf[:]); err != nil {
-		s.err = fmt.Errorf("external: spill to partition %d (%s): %w",
-			p, s.partName(p), err)
-		return s.err
-	}
-	s.counts[p]++
-	s.n++
-	return nil
+	return s.put(rec.Record(r))
 }
 
-// AddBatch spills a batch of records. On failure the error reports the
-// index of the record that failed; records before it were spilled (and are
-// counted by Len), records after it were not.
+// AddBatch spills a batch of records in one pass: a single usability and
+// cancellation check, then one partition-routing loop over the batch,
+// with whole staging blocks handed to the writer pool as they fill. On
+// failure the error reports the index of the first record not accepted;
+// records before it were handed to the spill pipeline (and are counted by
+// Len), records at and after it were not.
 func (s *Shuffler) AddBatch(recs []semisort.Record) error {
-	for i, r := range recs {
-		if err := s.Add(r); err != nil {
+	if err := s.usable("AddBatch"); err != nil {
+		return err
+	}
+	if s.cfg.Semisort.Context != nil {
+		if err := s.cfg.Semisort.Context.Err(); err != nil {
+			return fmt.Errorf("external: AddBatch canceled: %w", err)
+		}
+	}
+	for i := range recs {
+		if err := s.put(rec.Record(recs[i])); err != nil {
 			return fmt.Errorf("record %d of %d: %w", i, len(recs), err)
 		}
 	}
 	return nil
 }
 
-// usable reports why an operation cannot proceed: the shuffler was closed,
-// or an earlier spill failed (sticky).
+// put routes one record to its partition's staging block, submitting the
+// block to the writer pool when it fills. It is the shared inner loop of
+// Add and AddBatch; callers have already checked usability/cancellation.
+func (s *Shuffler) put(r rec.Record) error {
+	p := int(r.Key >> s.shift)
+	blk := s.stage[p]
+	if blk == nil {
+		blk = s.takeBlock(p)
+	}
+	blk = append(blk, r)
+	if len(blk) == cap(blk) {
+		s.stage[p] = nil
+		if err := s.submit(p, blk); err != nil {
+			return err
+		}
+	} else {
+		s.stage[p] = blk
+	}
+	s.parts[p].records++
+	s.n++
+	return nil
+}
+
+// usable reports why an operation cannot proceed: the shuffler was
+// closed, sealed (spill-path operations only), an earlier spill failed
+// (sticky), or the writer pool has published a failure not yet adopted.
 func (s *Shuffler) usable(op string) error {
 	if s.closed {
 		return fmt.Errorf("external: %s: %w", op, ErrClosed)
 	}
-	return s.err
+	if s.err != nil {
+		return s.err
+	}
+	if s.sealed && op != "ForEachGroup" {
+		return fmt.Errorf("external: %s: %w", op, ErrSealed)
+	}
+	if f := s.asyncErr.Load(); f != nil {
+		s.err = f.err
+		return s.err
+	}
+	return nil
 }
 
 // partName returns the spill filename of partition p for error messages.
@@ -187,142 +360,64 @@ func (s *Shuffler) partName(p int) string {
 	if s.files[p] != nil {
 		return s.files[p].Name()
 	}
-	return fmt.Sprintf("part-%04d", p)
+	return partFileName(p)
 }
 
-// Len returns the number of records spilled so far.
-func (s *Shuffler) Len() int64 { return s.n }
+func partFileName(p int) string { return fmt.Sprintf("part-%04d", p) }
 
-// ForEachGroup flushes the spill files, then loads each partition in turn,
-// semisorts it in memory, and calls fn once per group of equal keys. The
-// group slice is reused between calls; clone it if it must be retained.
-// Returning a non-nil error from fn aborts the iteration. The spill files
-// are removed afterwards regardless of outcome.
-func (s *Shuffler) ForEachGroup(fn func(key uint64, group []semisort.Record) error) error {
-	if err := s.usable("ForEachGroup"); err != nil {
-		return err
-	}
-	defer s.Close()
-
-	for p := range s.bufs {
-		if err := s.flushPartition(p); err != nil {
-			return err
-		}
-	}
-
-	ctx := s.cfg.Semisort.Context
-	var sorter core.Workspace
-	var partition []rec.Record
-	for p := range s.files {
-		cnt := s.counts[p]
-		if cnt == 0 {
-			continue
-		}
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("external: canceled before partition %d: %w", p, err)
-			}
-		}
-		if int64(cap(partition)) < cnt {
-			partition = make([]rec.Record, cnt)
-		}
-		partition = partition[:cnt]
-		if err := s.readPartition(p, partition); err != nil {
-			return err
-		}
-		cfg := s.cfg.Semisort
-		// Shared output: the group slices handed to fn are documented as
-		// reused between calls, so the workspace-owned buffer is recycled
-		// across partitions instead of allocating one output per partition.
-		out, st, err := core.SemisortShared(&sorter, partition, &cfg)
-		if err != nil {
-			return fmt.Errorf("external: semisort partition %d (%s): %w", p, s.partName(p), err)
-		}
-		s.stats.Partitions++
-		s.stats.Records += cnt
-		s.stats.Attempts += st.Attempts
-		s.stats.Retries += st.Retries
-		if st.FallbackUsed {
-			s.stats.Fallbacks++
-		}
-		s.stats.Sched = s.stats.Sched.Add(st.Sched)
-		var ferr error
-		rec.Runs(out, func(start, end int) {
-			if ferr != nil {
-				return
-			}
-			ferr = fn(out[start].Key, out[start:end])
-		})
-		if ferr != nil {
-			return ferr
-		}
-	}
-	return nil
-}
-
-// flushPartition pushes partition p's buffered records to disk and verifies
-// the file holds exactly the records counted for it, so a short write (a
-// full disk slipping past bufio, an injected fault) is reported here — with
-// the partition named — rather than as a confusing truncation at read time.
-func (s *Shuffler) flushPartition(p int) error {
-	if err := s.bufs[p].Flush(); err != nil {
-		return fmt.Errorf("external: flush partition %d (%s): %w", p, s.partName(p), err)
-	}
-	info, err := s.files[p].Stat()
-	if err != nil {
-		return fmt.Errorf("external: stat partition %d (%s): %w", p, s.partName(p), err)
-	}
-	if want := s.counts[p] * 16; info.Size() != want {
-		return fmt.Errorf("external: partition %d (%s) holds %d bytes after flush, want %d (%d records): spill incomplete",
-			p, s.partName(p), info.Size(), want, s.counts[p])
-	}
-	return nil
-}
-
-// readPartition reads exactly counts[p] records back from partition p,
-// distinguishing truncated or corrupt spill files from other read errors.
-func (s *Shuffler) readPartition(p int, dst []rec.Record) error {
-	f := s.files[p]
-	if _, err := f.Seek(0, 0); err != nil {
-		return fmt.Errorf("external: rewind partition %d (%s): %w", p, s.partName(p), err)
-	}
-	// The fault wrapper sits over bufio: an injected SpillRead fault cuts
-	// the stream short exactly like a truncated file would.
-	r := fault.Reader(bufio.NewReaderSize(f, 1<<20))
-	var buf [16]byte
-	for i := range dst {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return fmt.Errorf("external: partition %d (%s) truncated: got %d of %d records: %w",
-					p, s.partName(p), i, len(dst), io.ErrUnexpectedEOF)
-			}
-			return fmt.Errorf("external: read partition %d (%s) at record %d: %w",
-				p, s.partName(p), i, err)
-		}
-		dst[i] = rec.Record{
-			Key:   binary.LittleEndian.Uint64(buf[0:8]),
-			Value: binary.LittleEndian.Uint64(buf[8:16]),
-		}
-	}
-	return nil
-}
-
-// Close removes the spill files. It is idempotent and called automatically
-// by ForEachGroup.
+// Close releases the shuffler: it stops the writer pool, closes the
+// partition files and removes the spill directory — except that a
+// resumable shuffle with sealed but unemitted partitions keeps the
+// directory on disk for ResumeShuffler. Close is idempotent and called
+// automatically by ForEachGroup; it surfaces the first file-close or
+// directory-removal error (a failed close after buffered writes can hide
+// data loss) rather than dropping it.
 func (s *Shuffler) Close() error {
+	keep := s.cfg.Resumable && s.sealed && !s.allDone
+	return s.close(keep)
+}
+
+// Discard closes the shuffler and removes the spill directory even when
+// Close would have kept it for resumption.
+func (s *Shuffler) Discard() error {
+	cerr := s.close(false)
+	rerr := os.RemoveAll(s.dir)
+	if cerr != nil {
+		return cerr
+	}
+	if rerr != nil {
+		return fmt.Errorf("external: remove spill dir: %w", rerr)
+	}
+	return nil
+}
+
+func (s *Shuffler) close(keepDir bool) error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	s.cleanup()
-	return nil
-}
-
-func (s *Shuffler) cleanup() {
-	for _, f := range s.files {
-		if f != nil {
-			f.Close()
+	if !s.sealed {
+		s.stopWriters()
+	}
+	var firstErr error
+	for p, f := range s.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("external: close partition %d (%s): %w", p, f.Name(), err)
 		}
 	}
-	os.RemoveAll(s.dir)
+	if !keepDir {
+		if err := os.RemoveAll(s.dir); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("external: remove spill dir: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// discardQuietly tears down a half-constructed shuffler inside NewShuffler,
+// where the constructor error is already the one worth reporting.
+func (s *Shuffler) discardQuietly() {
+	s.close(false)
 }

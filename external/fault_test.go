@@ -74,16 +74,16 @@ func TestShuffleFlushFaultNamesPartition(t *testing.T) {
 	if err := sh.AddBatch(mkRecords(1000, 10, 3)); err != nil {
 		t.Fatal(err)
 	}
-	// With the default (large) buffer the records only reach the files on
-	// the ForEachGroup flush; fail that.
+	// With the default (large) buffer the records only reach the files when
+	// seal flushes the partial staging blocks; fail that write.
 	fault.Enable(fault.New(1).Arm(fault.SpillWrite, 0, 1))
 	defer fault.Disable()
 	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
 	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("err = %v, want ErrInjected", err)
 	}
-	if !strings.Contains(err.Error(), "flush partition") || !strings.Contains(err.Error(), "part-") {
-		t.Errorf("flush error lacks partition context: %v", err)
+	if !strings.Contains(err.Error(), "spill to partition") || !strings.Contains(err.Error(), "part-") {
+		t.Errorf("spill error lacks partition context: %v", err)
 	}
 }
 
@@ -95,9 +95,10 @@ func TestShuffleReadTruncationDetected(t *testing.T) {
 	if err := sh.AddBatch(mkRecords(5000, 50, 4)); err != nil {
 		t.Fatal(err)
 	}
-	// Fail the second Read of the read-back: the stream ends mid-partition,
-	// exactly like a truncated spill file.
-	fault.Enable(fault.New(1).Arm(fault.SpillRead, 1, 1))
+	// Fail the partition's segment read: the stream ends mid-partition,
+	// exactly like a truncated spill file. (A small partition loads as a
+	// single segment, so occurrence 0 is its only read.)
+	fault.Enable(fault.New(1).Arm(fault.SpillRead, 0, 1))
 	defer fault.Disable()
 	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
 	if !errors.Is(err, io.ErrUnexpectedEOF) {

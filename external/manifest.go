@@ -1,0 +1,203 @@
+package external
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// Restartable manifests. A resumable shuffle commits one small JSON
+// manifest per partition at seal time — record count, byte length,
+// block count, whole-file CRC32-C, compression codec — and rewrites it
+// with Emitted set after the partition's groups have all been delivered.
+// Manifest commits are atomic (write to a temp file, rename into place),
+// so a crash leaves either the old manifest or the new one, never a torn
+// file. ResumeShuffler reads the manifests back: partitions marked
+// emitted are skipped without re-reading their data; the rest are
+// re-emitted whole (group delivery is at-least-once per partition — a
+// crash mid-partition re-emits that partition's groups on resume).
+
+// crcTable is the CRC32-C polynomial shared with the block framing.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// manifest is the persistent per-partition state. The CRC covers the
+// partition file's bytes as stored (after compression), so a resumed
+// read detects corruption introduced while the job was down.
+type manifest struct {
+	Records     int64  `json:"records"`
+	Bytes       int64  `json:"bytes"`
+	Blocks      int64  `json:"blocks"`
+	CRC         uint32 `json:"crc32c"`
+	Compression uint8  `json:"compression"`
+	Emitted     bool   `json:"emitted"`
+}
+
+func manifestPath(dir string, p int) string {
+	return filepath.Join(dir, partFileName(p)+".manifest")
+}
+
+// commitManifest atomically writes partition p's manifest reflecting the
+// current partState. It is the fault.ManifestCommit injection point:
+// occurrences count commits (seal commits in partition order, then one
+// emitted-marker commit as each partition finishes).
+func (s *Shuffler) commitManifest(p int) error {
+	ps := &s.parts[p]
+	m := manifest{
+		Records:     ps.records,
+		Bytes:       ps.bytes,
+		Blocks:      ps.blocks,
+		CRC:         ps.crc,
+		Compression: uint8(s.cfg.Compression),
+		Emitted:     ps.emitted,
+	}
+	if err := writeManifest(s.dir, p, m); err != nil {
+		return fmt.Errorf("external: commit manifest for partition %d (%s): %w", p, s.partName(p), err)
+	}
+	return nil
+}
+
+func writeManifest(dir string, p int, m manifest) error {
+	if fault.Should(fault.ManifestCommit) {
+		return fault.ErrInjected
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := manifestPath(dir, p)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readManifest loads partition p's manifest; ok is false when none was
+// committed.
+func readManifest(dir string, p int) (m manifest, ok bool, err error) {
+	data, err := os.ReadFile(manifestPath(dir, p))
+	if errors.Is(err, fs.ErrNotExist) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("manifest for partition %d corrupt: %w", p, err)
+	}
+	return m, true, nil
+}
+
+// ResumeShuffler reopens the spill directory of a resumable shuffle whose
+// ForEachGroup crashed or was canceled, so a new ForEachGroup call can
+// finish the job. It requires the spill to have been sealed — every
+// non-empty partition must carry a committed manifest, and each file's
+// size must match its manifest — and refuses otherwise: records staged
+// but never flushed are gone, and only restarting the shuffle can
+// recover them.
+//
+// The returned Shuffler is read-only (Add and AddBatch return ErrSealed).
+// Its ForEachGroup skips partitions already marked emitted — counted in
+// ShuffleStats.PartitionsSkipped, without re-reading their data — and
+// emits the rest as usual. cfg supplies the runtime configuration
+// (Semisort, SpillConcurrency, Serial); the on-disk layout (partition
+// count, compression) comes from the directory itself.
+func ResumeShuffler(dir string, cfg *Config) (*Shuffler, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("external: resume: %w", err)
+	}
+	var partFiles []string
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) == len("part-0000") && name[:5] == "part-" {
+			partFiles = append(partFiles, name)
+		}
+	}
+	if len(partFiles) == 0 {
+		return nil, fmt.Errorf("external: resume %s: no partition files", dir)
+	}
+	sort.Strings(partFiles)
+	nparts := len(partFiles)
+	if nparts&(nparts-1) != 0 {
+		return nil, fmt.Errorf("external: resume %s: %d partition files, want a power of two (directory incomplete?)", dir, nparts)
+	}
+
+	c := cfg.withDefaults()
+	c.Partitions = nparts
+	c.Resumable = true
+	s := newShuffler(c, dir)
+	s.sealed = true
+	resumed := false
+	defer func() {
+		if !resumed {
+			s.close(true) // keep the directory: the caller may fix and retry
+		}
+	}()
+
+	var compression uint8
+	for p := 0; p < nparts; p++ {
+		path := filepath.Join(dir, partFileName(p))
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("external: resume partition %d: %w", p, err)
+		}
+		m, ok, err := readManifest(dir, p)
+		if err != nil {
+			return nil, fmt.Errorf("external: resume partition %d: %w", p, err)
+		}
+		if !ok {
+			if info.Size() == 0 {
+				// An empty partition that never got a manifest (pre-seal
+				// crash of a shuffle that routed it nothing) holds no
+				// records; nothing to resume or lose.
+				continue
+			}
+			return nil, fmt.Errorf("external: resume partition %d (%s): no manifest: spill was never sealed, restart the shuffle", p, path)
+		}
+		if info.Size() != m.Bytes {
+			return nil, fmt.Errorf("external: resume partition %d (%s): file holds %d bytes, manifest says %d: spill corrupt", p, path, info.Size(), m.Bytes)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("external: resume partition %d: %w", p, err)
+		}
+		s.files[p] = f
+		s.parts[p] = partState{
+			records: m.Records,
+			bytes:   m.Bytes,
+			blocks:  m.Blocks,
+			crc:     m.CRC,
+			emitted: m.Emitted,
+		}
+		s.n += m.Records
+		if m.Records > 0 {
+			compression = m.Compression
+		}
+	}
+	s.cfg.Compression = Compression(compression)
+	// Reopen the untouched partitions' files too, so error paths and
+	// Close treat them uniformly.
+	for p := 0; p < nparts; p++ {
+		if s.files[p] == nil {
+			f, err := os.Open(filepath.Join(dir, partFileName(p)))
+			if err != nil {
+				return nil, fmt.Errorf("external: resume partition %d: %w", p, err)
+			}
+			s.files[p] = f
+		}
+	}
+	resumed = true
+	return s, nil
+}

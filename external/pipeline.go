@@ -1,0 +1,261 @@
+package external
+
+import (
+	"fmt"
+	"time"
+
+	semisort "repro"
+	"repro/internal/core"
+	"repro/internal/obsv"
+	"repro/internal/rec"
+)
+
+// Pipelined read-back. ForEachGroup seals the spill, then runs a
+// prefetcher goroutine that streams partition p+1 from disk (parallel
+// segmented reads into a reusable double buffer, block decode, checksum
+// verification) while partition p is being semisorted on the warm
+// workspace and its groups emitted. The emit loop only waits when the
+// disk falls behind the sort (counted in ShuffleStats.PrefetchStalls and
+// visible as "prefetch" spans); with the disk ahead, read-back is free.
+
+// Aliases so the span helpers read naturally at call sites.
+const (
+	obsvSpill    = obsv.PhaseSpill
+	obsvPrefetch = obsv.PhasePrefetch
+	obsvCompress = obsv.PhaseCompress
+)
+
+// span emits a shuffle-level phase span to the configured Observer (when
+// set), measured from start to now. Spans are emitted on the goroutine
+// calling ForEachGroup, matching the Observer contract; attempt carries
+// the partition index where that is meaningful.
+func (s *Shuffler) span(ph obsv.Phase, attempt int, start time.Time) {
+	s.spanDur(ph, attempt, time.Since(start))
+}
+
+// spanDur emits a span with an explicit duration (used for the compress
+// span, whose time accumulates across writer goroutines and is reported
+// once at seal).
+func (s *Shuffler) spanDur(ph obsv.Phase, attempt int, d time.Duration) {
+	obs := s.cfg.Semisort.Observer
+	if obs == nil {
+		return
+	}
+	obs.PhaseStart(attempt, ph)
+	obs.PhaseEnd(obsv.Span{Attempt: attempt, Phase: ph, Duration: d, Outcome: obsv.OutcomeOK})
+}
+
+// loadedPartition is one partition delivered by the prefetcher.
+type loadedPartition struct {
+	p    int
+	recs []rec.Record
+	buf  *partitionBuffer
+	err  error
+}
+
+// partitionBuffer is one half of the read-back double buffer: the raw
+// file bytes and the decoded records of one partition, plus the decoder
+// scratch. Buffers are recycled through the prefetcher as soon as the
+// semisort of their partition returns, so steady state holds two.
+type partitionBuffer struct {
+	raw  []byte
+	recs []rec.Record
+	dec  rec.BlockDecoder
+}
+
+// prefetcher streams partitions in order, one load ahead of the consumer.
+type prefetcher struct {
+	s      *Shuffler
+	order  []int
+	ch     chan loadedPartition
+	bufs   chan *partitionBuffer
+	stopc  chan struct{}
+	serial bool
+	idx    int
+}
+
+func (s *Shuffler) newPrefetcher(order []int) *prefetcher {
+	pf := &prefetcher{
+		s:      s,
+		order:  order,
+		serial: s.cfg.Serial,
+		bufs:   make(chan *partitionBuffer, 2),
+	}
+	pf.bufs <- &partitionBuffer{}
+	pf.bufs <- &partitionBuffer{}
+	if pf.serial {
+		return pf
+	}
+	pf.ch = make(chan loadedPartition)
+	pf.stopc = make(chan struct{})
+	go pf.run()
+	return pf
+}
+
+func (pf *prefetcher) run() {
+	defer close(pf.ch)
+	ctx := pf.s.cfg.Semisort.Context
+	for _, p := range pf.order {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				pf.deliver(loadedPartition{p: p, err: fmt.Errorf("external: canceled before partition %d: %w", p, err)})
+				return
+			}
+		}
+		var buf *partitionBuffer
+		select {
+		case buf = <-pf.bufs:
+		case <-pf.stopc:
+			return
+		}
+		recs, err := pf.s.loadPartition(p, buf)
+		if !pf.deliver(loadedPartition{p: p, recs: recs, buf: buf, err: err}) || err != nil {
+			return
+		}
+	}
+}
+
+func (pf *prefetcher) deliver(ld loadedPartition) bool {
+	select {
+	case pf.ch <- ld:
+		return true
+	case <-pf.stopc:
+		return false
+	}
+}
+
+// next returns the next loaded partition, reporting whether the emit loop
+// had to wait for it (a prefetch stall: the disk fell behind the sort).
+func (pf *prefetcher) next() (loadedPartition, bool) {
+	if pf.serial {
+		p := pf.order[pf.idx]
+		pf.idx++
+		buf := <-pf.bufs
+		recs, err := pf.s.loadPartition(p, buf)
+		return loadedPartition{p: p, recs: recs, buf: buf, err: err}, false
+	}
+	select {
+	case ld := <-pf.ch:
+		return ld, false
+	default:
+	}
+	ld := <-pf.ch
+	return ld, true
+}
+
+// recycle returns a partition buffer to the prefetcher once its records
+// are no longer needed (the semisort has copied them out).
+func (pf *prefetcher) recycle(buf *partitionBuffer) {
+	if buf != nil {
+		pf.bufs <- buf
+	}
+}
+
+// stop shuts the prefetcher down without leaking its goroutine,
+// whatever state the pipeline is in.
+func (pf *prefetcher) stop() {
+	if pf.serial {
+		return
+	}
+	close(pf.stopc)
+	for range pf.ch { // drain until the goroutine observes stopc or ends
+	}
+}
+
+// ForEachGroup seals the spill (flushing the writer pool), then streams
+// each partition back — prefetching the next partition while the current
+// one is semisorted in memory — and calls fn once per group of equal
+// keys. The group slice is reused between calls; clone it if it must be
+// retained. Returning a non-nil error from fn aborts the iteration at
+// that group.
+//
+// On success the spill directory is removed and the first file-close or
+// removal error is returned (a close error after buffered writes can
+// hide data loss). On failure a non-resumable shuffle is cleaned up the
+// same way; a resumable one keeps its directory so ResumeShuffler(Dir())
+// can finish from the completed partitions. A resumed shuffle skips
+// partitions already emitted. Group delivery is at-least-once per
+// partition: a failure mid-partition re-emits that partition's groups on
+// resume.
+func (s *Shuffler) ForEachGroup(fn func(key uint64, group []semisort.Record) error) error {
+	if err := s.usable("ForEachGroup"); err != nil {
+		return err
+	}
+	err := s.forEachGroup(fn)
+	if err != nil {
+		s.Close() // the original failure stays the primary error
+		return err
+	}
+	s.allDone = true
+	return s.Close()
+}
+
+func (s *Shuffler) forEachGroup(fn func(key uint64, group []semisort.Record) error) error {
+	if err := s.seal(); err != nil {
+		return err
+	}
+	var order []int
+	for p := range s.parts {
+		switch {
+		case s.parts[p].emitted:
+			s.stats.PartitionsSkipped++
+		case s.parts[p].records > 0:
+			order = append(order, p)
+		}
+	}
+	pf := s.newPrefetcher(order)
+	defer pf.stop()
+
+	ctx := s.cfg.Semisort.Context
+	for range order {
+		t0 := time.Now()
+		ld, stalled := pf.next()
+		if stalled {
+			s.stats.PrefetchStalls++
+		}
+		s.span(obsvPrefetch, ld.p, t0)
+		if ld.err != nil {
+			pf.recycle(ld.buf)
+			return ld.err
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				pf.recycle(ld.buf)
+				return fmt.Errorf("external: canceled before partition %d: %w", ld.p, err)
+			}
+		}
+		cfg := s.cfg.Semisort
+		// Shared output: the group slices handed to fn are documented as
+		// reused between calls, so the workspace-owned buffer is recycled
+		// across partitions instead of allocating one output per
+		// partition — and the input buffer goes straight back to the
+		// prefetcher, which starts loading the next partition while the
+		// groups below are being emitted.
+		out, st, err := core.SemisortShared(&s.ws, ld.recs, &cfg)
+		pf.recycle(ld.buf)
+		if err != nil {
+			return fmt.Errorf("external: semisort partition %d (%s): %w", ld.p, s.partName(ld.p), err)
+		}
+		s.stats.Partitions++
+		s.stats.Records += s.parts[ld.p].records
+		s.stats.Attempts += st.Attempts
+		s.stats.Retries += st.Retries
+		if st.FallbackUsed {
+			s.stats.Fallbacks++
+		}
+		s.stats.Sched = s.stats.Sched.Add(st.Sched)
+		if err := rec.RunsErr(out, func(start, end int) error {
+			return fn(out[start].Key, out[start:end])
+		}); err != nil {
+			return err
+		}
+		s.parts[ld.p].emitted = true
+		if s.cfg.Resumable {
+			if err := s.commitManifest(ld.p); err != nil {
+				s.parts[ld.p].emitted = false
+				return err
+			}
+		}
+	}
+	return nil
+}

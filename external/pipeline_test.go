@@ -1,0 +1,240 @@
+package external
+
+import (
+	"strings"
+	"testing"
+
+	semisort "repro"
+	"repro/internal/fault"
+	"repro/internal/obsv"
+	"repro/internal/rec"
+)
+
+// Pipeline coverage: the async spill + prefetched read-back must produce
+// exactly the output of the serial ablation, compression must round-trip
+// and actually shrink duplicate-heavy spills, and the pipeline counters
+// must account for every byte.
+
+func deterministicConfig(dir string) *Config {
+	return &Config{
+		TempDir:       dir,
+		Partitions:    8,
+		BufferRecords: 128,
+		Semisort: semisort.Config{
+			Procs:           2,
+			Seed:            7,
+			ScatterStrategy: semisort.ScatterCounting,
+		},
+	}
+}
+
+// orderedGroups captures the full emission: keys in delivery order, each
+// with its values in delivery order — the strictest output comparison.
+func orderedGroups(t *testing.T, cfg *Config, recs []semisort.Record) ([]uint64, [][]uint64, ShuffleStats) {
+	t.Helper()
+	sh, err := NewShuffler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	var keys []uint64
+	var vals [][]uint64
+	err = sh.ForEachGroup(func(key uint64, group []semisort.Record) error {
+		keys = append(keys, key)
+		v := make([]uint64, len(group))
+		for i, r := range group {
+			v[i] = r.Value
+		}
+		vals = append(vals, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys, vals, sh.Stats()
+}
+
+func TestSerialMatchesPipelined(t *testing.T) {
+	recs := mkRecords(30000, 400, 21)
+
+	serial := deterministicConfig(t.TempDir())
+	serial.Serial = true
+	sk, sv, _ := orderedGroups(t, serial, recs)
+
+	pipelined := deterministicConfig(t.TempDir())
+	pk, pv, _ := orderedGroups(t, pipelined, recs)
+
+	if len(sk) != len(pk) {
+		t.Fatalf("serial emitted %d groups, pipelined %d", len(sk), len(pk))
+	}
+	for i := range sk {
+		if sk[i] != pk[i] {
+			t.Fatalf("group %d: serial key %d, pipelined key %d", i, sk[i], pk[i])
+		}
+		if len(sv[i]) != len(pv[i]) {
+			t.Fatalf("group %d: serial %d values, pipelined %d", i, len(sv[i]), len(pv[i]))
+		}
+		for j := range sv[i] {
+			if sv[i][j] != pv[i][j] {
+				t.Fatalf("group %d value %d differs between serial and pipelined", i, j)
+			}
+		}
+	}
+}
+
+func TestCompressionRoundTrip(t *testing.T) {
+	// Duplicate-heavy records compress; the groups must round-trip exactly
+	// and the stats must show the shrink.
+	recs := mkRecords(40000, 50, 22)
+	cfg := deterministicConfig(t.TempDir())
+	cfg.Compression = CompressFlate
+	keys, vals, st := orderedGroups(t, cfg, recs)
+
+	ref := deterministicConfig(t.TempDir())
+	rk, rv, rst := orderedGroups(t, ref, recs)
+	if len(keys) != len(rk) {
+		t.Fatalf("compressed shuffle emitted %d groups, raw %d", len(keys), len(rk))
+	}
+	for i := range rk {
+		if keys[i] != rk[i] || len(vals[i]) != len(rv[i]) {
+			t.Fatalf("group %d differs between compressed and raw shuffle", i)
+		}
+	}
+
+	if st.RawSpillBytes != int64(len(recs))*rec.RecordSize {
+		t.Errorf("RawSpillBytes = %d, want %d", st.RawSpillBytes, len(recs)*rec.RecordSize)
+	}
+	if st.SpillBytes >= st.RawSpillBytes {
+		t.Errorf("flate on 50 distinct keys did not shrink: %d spilled of %d raw", st.SpillBytes, st.RawSpillBytes)
+	}
+	if rst.SpillBytes <= st.SpillBytes {
+		t.Errorf("raw spill (%d bytes) smaller than compressed (%d)", rst.SpillBytes, st.SpillBytes)
+	}
+}
+
+func TestPipelineCountersAccount(t *testing.T) {
+	recs := mkRecords(20000, 300, 23)
+	_, _, st := orderedGroups(t, deterministicConfig(t.TempDir()), recs)
+	if st.SpillBlocks == 0 {
+		t.Error("SpillBlocks = 0 after a spilling shuffle")
+	}
+	// Uncompressed: the payload is exactly the records plus one header per
+	// block, and every spilled byte is read back exactly once.
+	want := int64(len(recs))*rec.RecordSize + st.SpillBlocks*rec.BlockHeaderSize
+	if st.SpillBytes != want {
+		t.Errorf("SpillBytes = %d, want %d (%d records in %d blocks)", st.SpillBytes, want, len(recs), st.SpillBlocks)
+	}
+	if st.BytesRead != st.SpillBytes {
+		t.Errorf("BytesRead = %d, want %d (every spilled byte read back once)", st.BytesRead, st.SpillBytes)
+	}
+	if st.PartitionsSkipped != 0 {
+		t.Errorf("fresh shuffle skipped %d partitions", st.PartitionsSkipped)
+	}
+}
+
+func TestShuffleSpillSpansEmitted(t *testing.T) {
+	recs := mkRecords(20000, 300, 24)
+	var col semisort.Collector
+	cfg := deterministicConfig(t.TempDir())
+	cfg.Compression = CompressFlate
+	cfg.Semisort.Observer = &col
+	_, _, _ = orderedGroups(t, cfg, recs)
+
+	counts := map[obsv.Phase]int{}
+	for _, s := range col.Spans() {
+		counts[s.Phase]++
+	}
+	if counts[obsv.PhaseSpill] != 1 {
+		t.Errorf("saw %d spill spans, want 1", counts[obsv.PhaseSpill])
+	}
+	if counts[obsv.PhaseCompress] != 1 {
+		t.Errorf("saw %d compress spans, want 1", counts[obsv.PhaseCompress])
+	}
+	if counts[obsv.PhasePrefetch] == 0 {
+		t.Error("no prefetch spans emitted")
+	}
+}
+
+func TestPartitionsFor(t *testing.T) {
+	cases := []struct {
+		total, budget int64
+		want          int
+	}{
+		{0, 1 << 20, 1},
+		{1 << 20, 1 << 20, 1},
+		{1 << 20, 0, 1},          // no budget: caller gets one partition
+		{10 << 20, 1 << 20, 16},  // 10 partitions round up to 16
+		{1 << 40, 1 << 20, 4096}, // capped
+		{3 << 20, 1 << 20, 4},
+	}
+	for _, c := range cases {
+		if got := PartitionsFor(c.total, c.budget); got != c.want {
+			t.Errorf("PartitionsFor(%d, %d) = %d, want %d", c.total, c.budget, got, c.want)
+		}
+	}
+}
+
+func TestAddBatchPartialErrorIndex(t *testing.T) {
+	// Serial mode makes spill writes synchronous, so the failing record's
+	// index is exact: with 8-record blocks, the first write failing means
+	// record 7 (the one completing the first block) is rejected.
+	cfg := &Config{TempDir: t.TempDir(), Partitions: 1, BufferRecords: 8, Serial: true}
+	sh, err := NewShuffler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	fault.Enable(fault.New(1).Arm(fault.SpillWrite, 0, 1))
+	defer fault.Disable()
+	err = sh.AddBatch(mkRecords(100, 10, 25))
+	if err == nil {
+		t.Fatal("AddBatch with failing spill succeeded")
+	}
+	if !strings.Contains(err.Error(), "record 7 of 100") {
+		t.Errorf("err = %v, want the exact failing index 'record 7 of 100'", err)
+	}
+	if sh.Len() != 7 {
+		t.Errorf("Len = %d after failing on record 7, want 7", sh.Len())
+	}
+}
+
+func TestSerialCompressedResume(t *testing.T) {
+	// The serial ablation and compression both compose with resumption.
+	recs := mkRecords(15000, 100, 26)
+	want := referenceGroups(t, recs)
+
+	cfg := resumableConfig(t.TempDir())
+	cfg.Serial = true
+	cfg.Compression = CompressFlate
+	sh, err := NewShuffler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	dir := sh.Dir()
+	got := map[uint64][]uint64{}
+	fault.Enable(fault.New(1).Arm(fault.SpillRead, 1, 1))
+	err = sh.ForEachGroup(gatherGroups(t, got))
+	fault.Disable()
+	if err == nil {
+		t.Fatal("armed read fault did not fail ForEachGroup")
+	}
+
+	rcfg := resumableConfig(t.TempDir())
+	rcfg.Serial = true
+	rs, err := ResumeShuffler(dir, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rs.cfg.Compression, CompressFlate; got != want {
+		t.Fatalf("resumed shuffler compression = %d, want %d (from manifest)", got, want)
+	}
+	if err := rs.ForEachGroup(gatherGroups(t, got)); err != nil {
+		t.Fatal(err)
+	}
+	compareGroups(t, got, want)
+}

@@ -1,0 +1,134 @@
+package external
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/rec"
+)
+
+// readSegmentBytes is the target size of one parallel ReadAt segment when
+// loading a partition back. Large enough that per-segment overhead is
+// noise, small enough that a typical partition still fans out across the
+// reader concurrency.
+const readSegmentBytes = 1 << 20
+
+// loadPartition reads partition p's spill file into buf and decodes its
+// blocks, returning the partition's records. The file bytes land via
+// parallel segmented ReadAt calls (the file is never seeked, so a resumed
+// shuffle can load partitions in any order), then the whole file is
+// checksummed against the writer's running CRC before any block is
+// trusted, and finally the blocks are decoded in order — each carrying
+// its own frame checksum, so a corrupt region is pinned to a block.
+func (s *Shuffler) loadPartition(p int, buf *partitionBuffer) ([]rec.Record, error) {
+	ps := &s.parts[p]
+	size := ps.bytes
+	if int64(cap(buf.raw)) < size {
+		buf.raw = make([]byte, size)
+	}
+	raw := buf.raw[:size]
+
+	nseg := int((size + readSegmentBytes - 1) / readSegmentBytes)
+	if max := s.cfg.SpillConcurrency; nseg > max {
+		nseg = max
+	}
+	if s.cfg.Serial || nseg < 1 {
+		nseg = 1
+	}
+	if err := s.readSegments(p, raw, nseg); err != nil {
+		return nil, err
+	}
+	s.stats.BytesRead += size
+
+	if got := crc32.Checksum(raw, crcTable); got != ps.crc {
+		return nil, fmt.Errorf("external: partition %d (%s): spill checksum mismatch (got %08x, want %08x): file corrupted on disk",
+			p, s.partName(p), got, ps.crc)
+	}
+
+	recs := buf.recs[:0]
+	for off := int64(0); off < size; {
+		var n int
+		var err error
+		recs, n, err = buf.dec.DecodeBlock(recs, raw[off:])
+		if err != nil {
+			return nil, fmt.Errorf("external: partition %d (%s) at offset %d: %w", p, s.partName(p), off, err)
+		}
+		off += int64(n)
+	}
+	buf.recs = recs
+	if int64(len(recs)) != ps.records {
+		return nil, fmt.Errorf("external: partition %d (%s): decoded %d records, manifest says %d",
+			p, s.partName(p), len(recs), ps.records)
+	}
+	return recs, nil
+}
+
+// readSegments fills dst from partition p's file using nseg concurrent
+// ReadAt calls over equal slices of the byte range. Each segment is a
+// fault.SpillRead injection point (occurrences count segment reads;
+// segments of one partition run concurrently, so which segment trips the
+// Nth occurrence is scheduling-dependent — the partition that fails is
+// still deterministic, because partitions load one at a time).
+func (s *Shuffler) readSegments(p int, dst []byte, nseg int) error {
+	f := s.files[p]
+	size := int64(len(dst))
+	if size == 0 {
+		return nil
+	}
+	per := (size + int64(nseg) - 1) / int64(nseg)
+
+	readOne := func(off int64) error {
+		end := off + per
+		if end > size {
+			end = size
+		}
+		if fault.Should(fault.SpillRead) {
+			// Model the read failing partway: the bytes that did arrive are
+			// untrusted, matching a short read from a failing disk.
+			return fmt.Errorf("read %d bytes at offset %d: spill truncated: %w", end-off, off, io.ErrUnexpectedEOF)
+		}
+		n, err := f.ReadAt(dst[off:end], off)
+		if err != nil {
+			if err == io.EOF {
+				// ReadAt's EOF on a short read means the file lost bytes
+				// after seal verified its size: a truncation, not an end.
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("read %d bytes at offset %d (got %d): spill truncated or unreadable: %w", end-off, off, n, err)
+		}
+		return nil
+	}
+
+	var firstErr error
+	if nseg <= 1 {
+		firstErr = readOne(0)
+	} else {
+		errs := make([]error, nseg)
+		var wg sync.WaitGroup
+		for i := 0; i < nseg; i++ {
+			off := int64(i) * per
+			if off >= size {
+				break
+			}
+			wg.Add(1)
+			go func(i int, off int64) {
+				defer wg.Done()
+				errs[i] = readOne(off)
+			}(i, off)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("external: partition %d (%s): %w", p, s.partName(p), firstErr)
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package external
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	semisort "repro"
+	"repro/internal/fault"
+)
+
+// Resume coverage: kill a resumable shuffle at every pipeline stage via
+// injected faults, then finish it with ResumeShuffler and check the
+// combined group output is identical to an uninterrupted run. The
+// semisort config pins Seed, Procs and the counting scatter so group
+// contents (including value order) are deterministic — byte-identity is
+// checked per group, with at-least-once delivery handled by letting a
+// re-emitted partition overwrite its earlier (identical) groups.
+
+func resumableConfig(dir string) *Config {
+	return &Config{
+		TempDir:       dir,
+		Partitions:    4,
+		BufferRecords: 64,
+		Resumable:     true,
+		Semisort: semisort.Config{
+			Procs:           2,
+			Seed:            123,
+			ScatterStrategy: semisort.ScatterCounting,
+		},
+	}
+}
+
+// gatherGroups records each emitted group; duplicate keys (at-least-once
+// re-emission after resume) must re-deliver identical values.
+func gatherGroups(t *testing.T, into map[uint64][]uint64) func(uint64, []semisort.Record) error {
+	t.Helper()
+	return func(key uint64, group []semisort.Record) error {
+		vals := make([]uint64, len(group))
+		for i, r := range group {
+			if r.Key != key {
+				t.Fatalf("group for %d contains key %d", key, r.Key)
+			}
+			vals[i] = r.Value
+		}
+		if prev, dup := into[key]; dup {
+			if len(prev) != len(vals) {
+				t.Fatalf("key %d re-emitted with %d values, first delivery had %d", key, len(vals), len(prev))
+			}
+			for i := range prev {
+				if prev[i] != vals[i] {
+					t.Fatalf("key %d re-emitted with different values at %d: %d vs %d", key, i, vals[i], prev[i])
+				}
+			}
+		}
+		into[key] = vals
+		return nil
+	}
+}
+
+// referenceGroups runs the same shuffle uninterrupted.
+func referenceGroups(t *testing.T, recs []semisort.Record) map[uint64][]uint64 {
+	t.Helper()
+	sh, err := NewShuffler(resumableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64][]uint64{}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.ForEachGroup(gatherGroups(t, got)); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func compareGroups(t *testing.T, got, want map[uint64][]uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(got), len(want))
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			t.Fatalf("key %d missing after resume", k)
+		}
+		if len(gv) != len(wv) {
+			t.Fatalf("key %d has %d values, want %d", k, len(gv), len(wv))
+		}
+		for i := range wv {
+			if gv[i] != wv[i] {
+				t.Fatalf("key %d value %d = %d, want %d (resume output not identical)", k, i, gv[i], wv[i])
+			}
+		}
+	}
+}
+
+// crashAndResume shuffles recs with the given fault armed, expects
+// ForEachGroup to fail, resumes from the kept directory, and checks the
+// combined output. It returns the stats of both runs.
+func crashAndResume(t *testing.T, recs []semisort.Record, arm func()) (crashed, resumed ShuffleStats) {
+	t.Helper()
+	want := referenceGroups(t, recs)
+
+	sh, err := NewShuffler(resumableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	dir := sh.Dir()
+	got := map[uint64][]uint64{}
+	arm()
+	err = sh.ForEachGroup(gatherGroups(t, got))
+	fault.Disable()
+	if err == nil {
+		t.Fatal("armed fault did not fail ForEachGroup")
+	}
+	crashed = sh.Stats()
+
+	rs, err := ResumeShuffler(dir, resumableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatalf("ResumeShuffler: %v", err)
+	}
+	if err := rs.ForEachGroup(gatherGroups(t, got)); err != nil {
+		t.Fatalf("resumed ForEachGroup: %v", err)
+	}
+	resumed = rs.Stats()
+	compareGroups(t, got, want)
+	return crashed, resumed
+}
+
+func TestResumeAfterReadFault(t *testing.T) {
+	recs := mkRecords(20000, 300, 11)
+	// Fail a segment read a few partitions in: earlier partitions were
+	// emitted and marked, so the resume must skip them without re-reading.
+	crashed, resumed := crashAndResume(t, recs, func() {
+		fault.Enable(fault.New(1).Arm(fault.SpillRead, 2, 1))
+	})
+	if resumed.PartitionsSkipped == 0 {
+		t.Errorf("resume skipped no partitions; crashed run emitted %d", crashed.Partitions)
+	}
+	if resumed.PartitionsSkipped != crashed.Partitions {
+		t.Errorf("resume skipped %d partitions, crashed run emitted %d", resumed.PartitionsSkipped, crashed.Partitions)
+	}
+	full := crashed.SpillBytes // spill completed before the crash
+	if resumed.BytesRead >= full {
+		t.Errorf("resume read %d of %d spill bytes: emitted partitions were re-read", resumed.BytesRead, full)
+	}
+}
+
+func TestResumeAfterEmitMarkFault(t *testing.T) {
+	recs := mkRecords(10000, 200, 12)
+	cfg := resumableConfig(t.TempDir())
+	// Seal commits one manifest per partition (occurrences 0..P-1); the
+	// next commit is the first emitted marker. Failing it must leave the
+	// partition unmarked so the resume re-emits it.
+	_, resumed := crashAndResume(t, recs, func() {
+		fault.Enable(fault.New(1).Arm(fault.ManifestCommit, cfg.withDefaults().Partitions, 1))
+	})
+	if resumed.PartitionsSkipped != 0 {
+		t.Errorf("resume skipped %d partitions, want 0 (the marker commit failed before any partition was marked)",
+			resumed.PartitionsSkipped)
+	}
+}
+
+func TestResumeAfterSemisortFailure(t *testing.T) {
+	recs := mkRecords(10000, 200, 13)
+	want := referenceGroups(t, recs)
+
+	cfg := resumableConfig(t.TempDir())
+	cfg.Semisort.DisableFallback = true
+	cfg.Semisort.MaxRetries = 1
+	// The injected overflow only exists on the probing scatter's path; the
+	// resumed run below goes back to the deterministic counting scatter.
+	cfg.Semisort.ScatterStrategy = semisort.ScatterProbing
+	sh, err := NewShuffler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	dir := sh.Dir()
+	got := map[uint64][]uint64{}
+	// Overflow every scatter attempt: with the fallback disabled the
+	// in-memory semisort of the first partition fails.
+	fault.Enable(fault.New(1).Arm(fault.ScatterOverflow, 0, 1000))
+	err = sh.ForEachGroup(gatherGroups(t, got))
+	fault.Disable()
+	if !errors.Is(err, semisort.ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+
+	rs, err := ResumeShuffler(dir, resumableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.ForEachGroup(gatherGroups(t, got)); err != nil {
+		t.Fatal(err)
+	}
+	compareGroups(t, got, want)
+}
+
+func TestResumeAfterCancellation(t *testing.T) {
+	recs := mkRecords(20000, 300, 14)
+	want := referenceGroups(t, recs)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := resumableConfig(t.TempDir())
+	cfg.Semisort.Context = ctx
+	sh, err := NewShuffler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	dir := sh.Dir()
+	got := map[uint64][]uint64{}
+	// Cancel during the first partition's emission: that partition still
+	// finishes and is marked, the next one is never started.
+	err = sh.ForEachGroup(func(key uint64, group []semisort.Record) error {
+		cancel()
+		return gatherGroups(t, got)(key, group)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	rs, err := ResumeShuffler(dir, resumableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.ForEachGroup(gatherGroups(t, got)); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Stats().PartitionsSkipped == 0 {
+		t.Error("the partition emitted before cancellation was not skipped on resume")
+	}
+	compareGroups(t, got, want)
+}
+
+func TestResumeRefusedBeforeSeal(t *testing.T) {
+	// A crash before seal loses staged records; ResumeShuffler must refuse
+	// rather than silently resume with holes. Serial mode makes the spill
+	// writes synchronous so the partition files are non-empty on "crash".
+	cfg := resumableConfig(t.TempDir())
+	cfg.Serial = true
+	cfg.BufferRecords = 8
+	sh, err := NewShuffler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(mkRecords(1000, 50, 15)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: never seal, never close; just try to resume the
+	// directory out from under the live shuffler.
+	_, err = ResumeShuffler(sh.Dir(), resumableConfig(t.TempDir()))
+	if err == nil || !strings.Contains(err.Error(), "never sealed") {
+		t.Fatalf("resume of an unsealed spill: err = %v, want a 'never sealed' refusal", err)
+	}
+	sh.Discard()
+}
+
+func TestResumeRefusedOnSealFault(t *testing.T) {
+	// A manifest-commit failure during seal is equally non-resumable: at
+	// least one partition has data but no manifest.
+	recs := mkRecords(5000, 100, 16)
+	sh, err := NewShuffler(resumableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	dir := sh.Dir()
+	fault.Enable(fault.New(1).Arm(fault.ManifestCommit, 0, 1))
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
+	fault.Disable()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	_, rerr := ResumeShuffler(dir, resumableConfig(t.TempDir()))
+	if rerr == nil || !strings.Contains(rerr.Error(), "never sealed") {
+		t.Fatalf("resume after seal fault: err = %v, want a 'never sealed' refusal", rerr)
+	}
+	sh.Discard()
+}
+
+func TestResumedShufflerIsSealed(t *testing.T) {
+	recs := mkRecords(5000, 100, 17)
+	sh, err := NewShuffler(resumableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	dir := sh.Dir()
+	fault.Enable(fault.New(1).Arm(fault.SpillRead, 0, 1))
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
+	fault.Disable()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want the injected truncation", err)
+	}
+
+	rs, err := ResumeShuffler(dir, resumableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Discard()
+	if err := rs.Add(semisort.Record{Key: 1}); !errors.Is(err, ErrSealed) {
+		t.Errorf("Add on a resumed shuffler: err = %v, want ErrSealed", err)
+	}
+	if err := rs.AddBatch(recs[:1]); !errors.Is(err, ErrSealed) {
+		t.Errorf("AddBatch on a resumed shuffler: err = %v, want ErrSealed", err)
+	}
+}
+
+func TestResumeBadDirectories(t *testing.T) {
+	if _, err := ResumeShuffler("/nonexistent/definitely/missing", nil); err == nil {
+		t.Error("resume of a missing directory must fail")
+	}
+	if _, err := ResumeShuffler(t.TempDir(), nil); err == nil {
+		t.Error("resume of an empty directory must fail")
+	}
+}
+
+func TestDiscardRemovesResumableDir(t *testing.T) {
+	recs := mkRecords(5000, 100, 18)
+	sh, err := NewShuffler(resumableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	dir := sh.Dir()
+	fault.Enable(fault.New(1).Arm(fault.SpillRead, 0, 1))
+	err = sh.ForEachGroup(func(uint64, []semisort.Record) error { return nil })
+	fault.Disable()
+	if err == nil {
+		t.Fatal("armed fault did not fail ForEachGroup")
+	}
+	// The failed resumable run kept its directory, so a resume works — but
+	// the caller can abandon it explicitly instead.
+	rs, err := ResumeShuffler(dir, nil)
+	if err != nil {
+		t.Fatalf("directory was not kept for resumption: %v", err)
+	}
+	if err := rs.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeShuffler(dir, nil); err == nil {
+		t.Error("Discard left the spill directory behind")
+	}
+}

@@ -1,0 +1,237 @@
+package external
+
+import (
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/rec"
+)
+
+// Async double-buffered spill. Add/AddBatch fill per-partition staging
+// blocks of Config.BufferRecords records; a full block is handed to a
+// bounded pool of writer goroutines that encode it (checksummed block
+// framing, optional compression) and append it to the partition file,
+// so ingestion overlaps disk writes instead of blocking on every flush.
+//
+// Partitions map to writers statically (partition p → writer p mod W),
+// which guarantees each partition's blocks hit its file in submission
+// order — the spilled bytes are deterministic in the Add sequence — and
+// lets each writer own its partitions' bookkeeping without locks. Each
+// partition stages at most two blocks (one filling, one in flight):
+// when both are busy, Add blocks on the partition's free list, which is
+// the backpressure that keeps memory bounded (counted in
+// ShuffleStats.SpillStalls).
+
+// spillJob is one staged block bound for partition p's file.
+type spillJob struct {
+	p    int
+	recs []rec.Record
+}
+
+// spillWriter drains one queue of spill jobs onto the partition files it
+// owns. Errors are published to the Shuffler's asyncErr and the writer
+// keeps draining (recycling blocks without writing), so Add never
+// deadlocks on a dead writer.
+type spillWriter struct {
+	s            *Shuffler
+	jobs         chan spillJob
+	done         chan struct{}
+	enc          rec.BlockEncoder
+	buf          []byte
+	compressTime time.Duration
+}
+
+// startWriters builds the writer pool. In Serial mode a single writer
+// exists but no goroutine runs: submit calls write synchronously.
+func (s *Shuffler) startWriters() {
+	if s.cfg.Serial {
+		s.writers = []*spillWriter{{s: s}}
+		return
+	}
+	w := s.cfg.SpillConcurrency
+	// Queue depth ≥ blocks that can ever be in flight for this writer's
+	// partitions, so sends never block: backpressure lives in the
+	// per-partition free lists, where it is counted.
+	depth := maxStageBlocks * ((s.cfg.Partitions + w - 1) / w)
+	s.writers = make([]*spillWriter, w)
+	for i := range s.writers {
+		sw := &spillWriter{
+			s:    s,
+			jobs: make(chan spillJob, depth),
+			done: make(chan struct{}),
+		}
+		s.writers[i] = sw
+		go sw.run()
+	}
+}
+
+// stopWriters closes every queue and joins the pool; safe to call twice
+// and on a resumed shuffler that never started writers.
+func (s *Shuffler) stopWriters() {
+	for _, w := range s.writers {
+		if w.jobs != nil {
+			close(w.jobs)
+		}
+	}
+	for _, w := range s.writers {
+		if w.done != nil {
+			<-w.done
+		}
+	}
+	s.writers = nil
+}
+
+// takeBlock returns an empty staging block for partition p, allocating up
+// to maxStageBlocks lazily and then waiting for the writer pool to
+// recycle one (the spill backpressure path).
+func (s *Shuffler) takeBlock(p int) []rec.Record {
+	select {
+	case blk := <-s.free[p]:
+		return blk
+	default:
+	}
+	if s.nblocks[p] < maxStageBlocks {
+		s.nblocks[p]++
+		return make([]rec.Record, 0, s.cfg.BufferRecords)
+	}
+	s.stats.SpillStalls++
+	return <-s.free[p]
+}
+
+// submit hands a filled block to the writer owning partition p, then
+// reports any spill failure the pool has published. In Serial mode the
+// block is written synchronously and recycled in place.
+func (s *Shuffler) submit(p int, blk []rec.Record) error {
+	if s.cfg.Serial {
+		s.writers[0].write(spillJob{p: p, recs: blk})
+		s.free[p] <- blk[:0]
+	} else {
+		s.writers[p%len(s.writers)].jobs <- spillJob{p: p, recs: blk}
+	}
+	if f := s.asyncErr.Load(); f != nil {
+		s.err = f.err
+		return s.err
+	}
+	return nil
+}
+
+func (w *spillWriter) run() {
+	defer close(w.done)
+	for j := range w.jobs {
+		if w.s.asyncErr.Load() == nil {
+			w.write(j)
+		}
+		// Recycle the block even after a failure so Add/AddBatch can
+		// observe the sticky error instead of deadlocking on a free list
+		// that never refills.
+		w.s.free[j.p] <- j.recs[:0]
+	}
+}
+
+// write encodes one block and appends it to its partition file, updating
+// the partition's byte/block/checksum bookkeeping (this writer is the
+// only goroutine touching those fields for its partitions).
+func (w *spillWriter) write(j spillJob) {
+	compress := w.s.cfg.Compression == CompressFlate
+	var err error
+	if compress {
+		t0 := time.Now()
+		w.buf, err = w.enc.AppendBlock(w.buf[:0], j.recs, true)
+		w.compressTime += time.Since(t0)
+	} else {
+		w.buf, err = w.enc.AppendBlock(w.buf[:0], j.recs, false)
+	}
+	if err == nil {
+		// The fault wrapper sits over the file write so an injected
+		// SpillWrite fault surfaces exactly where a real disk error
+		// would: on the block write that pushes staged records to disk.
+		if fault.Should(fault.SpillWrite) {
+			err = fault.ErrInjected
+		} else {
+			_, err = w.s.files[j.p].Write(w.buf)
+		}
+	}
+	if err != nil {
+		w.s.asyncErr.CompareAndSwap(nil, &spillFailure{err: fmt.Errorf(
+			"external: spill to partition %d (%s): %w", j.p, w.s.partName(j.p), err)})
+		return
+	}
+	ps := &w.s.parts[j.p]
+	ps.bytes += int64(len(w.buf))
+	ps.blocks++
+	ps.crc = crc32.Update(ps.crc, crcTable, w.buf)
+}
+
+// seal flushes every partial staging block, drains the writer pool,
+// verifies each partition file holds exactly the bytes its writer
+// committed, and (for resumable shuffles) commits a manifest per
+// partition. After seal the shuffle is read-only. The time spent here is
+// the non-overlapped spill tail, emitted as the "spill" span.
+func (s *Shuffler) seal() error {
+	if s.sealed {
+		return s.err
+	}
+	t0 := time.Now()
+	s.sealed = true
+	for p, blk := range s.stage {
+		if len(blk) > 0 {
+			s.stage[p] = nil
+			if err := s.submit(p, blk); err != nil {
+				// Keep draining below so no writer goroutine leaks; the
+				// sticky error is re-checked after the join.
+				break
+			}
+		}
+	}
+	serialWriter := s.cfg.Serial && len(s.writers) > 0
+	var compressTime time.Duration
+	if serialWriter {
+		compressTime = s.writers[0].compressTime
+	}
+	for _, w := range s.writers {
+		if w.jobs != nil {
+			close(w.jobs)
+		}
+	}
+	for _, w := range s.writers {
+		if w.done != nil {
+			<-w.done
+			compressTime += w.compressTime
+		}
+	}
+	s.writers = nil
+	if f := s.asyncErr.Load(); f != nil {
+		s.err = f.err
+		return s.err
+	}
+
+	for p := range s.parts {
+		ps := &s.parts[p]
+		info, err := s.files[p].Stat()
+		if err != nil {
+			s.err = fmt.Errorf("external: stat partition %d (%s): %w", p, s.partName(p), err)
+			return s.err
+		}
+		if info.Size() != ps.bytes {
+			s.err = fmt.Errorf("external: partition %d (%s) holds %d bytes after spill, want %d (%d records in %d blocks): spill incomplete",
+				p, s.partName(p), info.Size(), ps.bytes, ps.records, ps.blocks)
+			return s.err
+		}
+		s.stats.SpillBlocks += ps.blocks
+		s.stats.SpillBytes += ps.bytes
+		s.stats.RawSpillBytes += ps.records * rec.RecordSize
+		if s.cfg.Resumable {
+			if err := s.commitManifest(p); err != nil {
+				s.err = err
+				return s.err
+			}
+		}
+	}
+	s.span(obsvSpill, 0, t0)
+	if compressTime > 0 {
+		s.spanDur(obsvCompress, 0, compressTime)
+	}
+	return nil
+}

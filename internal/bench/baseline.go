@@ -8,8 +8,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/external"
 	"repro/internal/core"
 	"repro/internal/distgen"
+	"repro/internal/rec"
 )
 
 // DefaultTolerance is the phase-level regression budget of the
@@ -217,6 +219,39 @@ func MeasureBaseline(o Options) Baseline {
 		}
 	}
 	for name, d := range reduced {
+		b.PhasesSec[name] = d.Seconds()
+	}
+
+	// Out-of-core path: end-to-end shuffle (spill + read-back + per-
+	// partition semisort) on the heavy workload, serial ablation and
+	// pipelined, so a regression in the spill encoding, the writer pool or
+	// the prefetcher fails the same gate. Same back-compat convention:
+	// Compare gates only the keys the stored baseline has.
+	outofcore := map[string]time.Duration{}
+	for name, serial := range map[string]bool{
+		"outofcore_serial":    true,
+		"outofcore_pipelined": false,
+	} {
+		var cfg external.Config
+		cfg.Partitions = 8
+		cfg.Serial = serial
+		cfg.Semisort.Procs = P
+		cfg.Semisort.Seed = o.Seed + 7
+		d := timeIt(o.Reps, func() {
+			sh, err := external.NewShuffler(&cfg)
+			if err != nil {
+				panic(err)
+			}
+			if err := sh.AddBatch(exp); err != nil {
+				panic(err)
+			}
+			if err := sh.ForEachGroup(func(uint64, []rec.Record) error { return nil }); err != nil {
+				panic(err)
+			}
+		})
+		outofcore[name] = d
+	}
+	for name, d := range outofcore {
 		b.PhasesSec[name] = d.Seconds()
 	}
 

@@ -47,8 +47,9 @@ const (
 	// SpillWrite makes a fault.Writer return ErrInjected; occurrences
 	// count Write calls.
 	SpillWrite
-	// SpillRead makes a fault.Reader report EOF, simulating a truncated
-	// spill file; occurrences count Read calls.
+	// SpillRead makes a fault.Reader report EOF — and a shuffle
+	// partition segment read report a short read — simulating a
+	// truncated spill file; occurrences count Read/ReadAt calls.
 	SpillRead
 	// PhaseBoundary fires at semisort phase boundaries (five per
 	// attempt, in phase order); arm it with an OnFire cancellation hook.
@@ -82,6 +83,12 @@ const (
 	// ErrInjected, aborting the attempt cooperatively — mid-loop state
 	// stays inside the Workspace, which remains reusable.
 	SampleRound
+	// ManifestCommit fails a resumable shuffle's manifest commit (the
+	// atomic write+rename that seals a partition or marks it emitted)
+	// with ErrInjected; occurrences count commits, in partition order —
+	// seal commits first, then one emitted-marker commit per partition
+	// as its groups finish.
+	ManifestCommit
 
 	numPoints
 )
@@ -100,6 +107,7 @@ var pointNames = [numPoints]string{
 	"server-handler-panic",
 	"radix-node",
 	"sample-round",
+	"manifest-commit",
 }
 
 func (p Point) String() string {

@@ -67,6 +67,21 @@ const (
 	// one span per executed round, with Ranges carrying the number of
 	// hash ranges the round drew from.
 	PhaseSampleRound
+	// PhaseSpill is the out-of-core shuffle's seal step: the time
+	// ForEachGroup spent draining the spill writer pool before read-back
+	// could start — the non-overlapped tail of the spill, not its total
+	// cost (overlapped writes are free by design). One span per shuffle.
+	PhaseSpill
+	// PhasePrefetch is the time the shuffle's emit loop spent waiting for
+	// the prefetcher to deliver a partition — zero when read-back fully
+	// overlapped the previous partition's semisort. One span per
+	// partition, with Attempt carrying the partition index.
+	PhasePrefetch
+	// PhaseCompress is the CPU time the spill writers spent compressing
+	// blocks, summed over the writer pool and emitted once at seal (only
+	// when compression is on). It overlaps ingestion, so it measures the
+	// CPU side of the compression trade, not added wall-clock.
+	PhaseCompress
 
 	numPhases
 )
@@ -83,6 +98,9 @@ var phaseNames = [numPhases]string{
 	"verify",
 	"reduce",
 	"sampleround",
+	"spill",
+	"prefetch",
+	"compress",
 }
 
 func (p Phase) String() string {

@@ -30,6 +30,25 @@ func Runs(a []Record, fn func(start, end int)) {
 	}
 }
 
+// RunsErr calls fn(start, end) for every maximal run of equal keys in a,
+// in order, stopping at the first non-nil error and returning it. Use it
+// when the consumer can fail: unlike Runs with a captured error, the walk
+// ends at the failing run instead of scanning the rest of the array.
+func RunsErr(a []Record, fn func(start, end int) error) error {
+	i := 0
+	for i < len(a) {
+		j := i + 1
+		for j < len(a) && a[j].Key == a[i].Key {
+			j++
+		}
+		if err := fn(i, j); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
 // IsSemisorted reports whether records with equal keys are contiguous in a.
 // It runs in O(n) time and O(m) space for m distinct keys.
 func IsSemisorted(a []Record) bool {
